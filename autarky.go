@@ -1,0 +1,182 @@
+// Package autarky is a faithful architectural reproduction of
+// "Autarky: Closing controlled channels with self-paging enclaves"
+// (Orenbach, Baumann, Silberstein — EuroSys 2020).
+//
+// It models the complete SGX memory-management architecture (EPC, EPCM,
+// enclave transitions, OS-driven paging), the Autarky ISA changes that hide
+// page-fault information from the OS and force invocation of a trusted
+// in-enclave fault handler, and the full self-paging software stack: a
+// Graphene-like library OS, the Autarky driver, and three secure paging
+// policies — cached software ORAM, page clusters, and rate-limited demand
+// paging. The controlled-channel attacks the paper defends against are
+// implemented too, so the defense can be demonstrated end to end.
+//
+// # Quick start
+//
+//	m := autarky.NewMachine()
+//	p, err := m.LoadApp(autarky.AppImage{
+//		Name:      "hello",
+//		Libraries: []autarky.Library{{Name: "libhello.so", Pages: 4}},
+//		HeapPages: 64,
+//	}, autarky.Config{SelfPaging: true, Policy: autarky.PolicyRateLimit,
+//		RateLimitBurst: 128, QuotaPages: 48})
+//	if err != nil { ... }
+//	err = p.Run(func(ctx *autarky.Context) {
+//		pages, _ := p.Alloc.AllocPages(16)
+//		for _, va := range pages {
+//			ctx.Store(va)
+//		}
+//	})
+//
+// Everything is deterministic: performance results are logical cycle counts
+// on the machine's clock.
+package autarky
+
+import (
+	"autarky/internal/cluster"
+	"autarky/internal/core"
+	"autarky/internal/hostos"
+	"autarky/internal/libos"
+	"autarky/internal/mmu"
+	"autarky/internal/pagestore"
+	"autarky/internal/sgx"
+	"autarky/internal/sim"
+)
+
+// Re-exported types forming the public API surface.
+type (
+	// Machine-level types.
+	Clock = sim.Clock
+	Costs = sim.Costs
+
+	// Application/image types.
+	AppImage = libos.AppImage
+	Library  = libos.Library
+	Function = libos.Function
+	Region   = libos.Region
+	Config   = libos.Config
+	Process  = libos.Process
+
+	// Runtime types.
+	Context          = core.Context
+	Runtime          = core.Runtime
+	Policy           = core.Policy
+	RateLimitPolicy  = core.RateLimitPolicy
+	ClusterPolicy    = core.ClusterPolicy
+	TerminationError = sgx.TerminationError
+
+	// Address types.
+	VAddr = mmu.VAddr
+
+	// Cluster API (Table 1).
+	ClusterID       = cluster.ID
+	ClusterRegistry = cluster.Registry
+)
+
+// Policy kinds for Config.Policy.
+const (
+	PolicyPinAll    = libos.PolicyPinAll
+	PolicyRateLimit = libos.PolicyRateLimit
+	PolicyClusters  = libos.PolicyClusters
+	PolicyORAM      = libos.PolicyORAM
+)
+
+// Paging mechanisms for Config.Mech.
+const (
+	MechSGX1 = core.MechSGX1
+	MechSGX2 = core.MechSGX2
+)
+
+// PageSize is the architectural page size (4 KiB).
+const PageSize = mmu.PageSize
+
+// Machine is one simulated host: CPU, MMU, EPC, untrusted kernel and
+// backing store. Create enclaves on it with LoadApp.
+type Machine struct {
+	Clock  *sim.Clock
+	Costs  *sim.Costs
+	CPU    *sgx.CPU
+	Kernel *hostos.Kernel
+	PT     *mmu.PageTable
+	TLB    *mmu.TLB
+	EPC    *sgx.EPC
+	Store  *pagestore.Store
+}
+
+// Option customizes machine construction.
+type Option func(*machineConfig)
+
+type machineConfig struct {
+	epcFrames  int
+	epcBase    mmu.PFN
+	tlbSets    int
+	tlbWays    int
+	costs      sim.Costs
+	rootSecret []byte
+}
+
+// withEPCBase places the machine's EPC at a specific physical frame range
+// (used by the Hypervisor to carve disjoint static partitions).
+func withEPCBase(base mmu.PFN) Option { return func(c *machineConfig) { c.epcBase = base } }
+
+// WithEPCFrames sets the physical EPC capacity in 4 KiB frames.
+// The default (65536 frames = 256 MiB) matches the paper's platform; tests
+// and scaled-down experiments use fewer.
+func WithEPCFrames(n int) Option { return func(c *machineConfig) { c.epcFrames = n } }
+
+// WithTLB sets the TLB geometry (sets × ways). Default 64×4.
+func WithTLB(sets, ways int) Option {
+	return func(c *machineConfig) { c.tlbSets, c.tlbWays = sets, ways }
+}
+
+// WithCosts overrides the calibrated cycle cost model.
+func WithCosts(costs sim.Costs) Option { return func(c *machineConfig) { c.costs = costs } }
+
+// WithRootSecret overrides the hardware sealing root (fixed by default so
+// runs are reproducible).
+func WithRootSecret(secret []byte) Option {
+	return func(c *machineConfig) { c.rootSecret = append([]byte(nil), secret...) }
+}
+
+// NewMachine builds a simulated host.
+func NewMachine(opts ...Option) *Machine {
+	cfg := machineConfig{
+		epcFrames:  65536,
+		epcBase:    mmu.PFN(0x100000),
+		tlbSets:    64,
+		tlbWays:    4,
+		costs:      sim.DefaultCosts(),
+		rootSecret: []byte("autarky-model-root-secret"),
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	clock := sim.NewClock()
+	costs := cfg.costs
+	pt := mmu.NewPageTable(clock, &costs)
+	tlb := mmu.NewTLB(cfg.tlbSets, cfg.tlbWays, clock, &costs)
+	epc := sgx.NewEPC(cfg.epcBase, cfg.epcFrames)
+	reg := sgx.NewRegularMemory(mmu.PFN(1 << 40))
+	cpu := sgx.NewCPU(clock, &costs, tlb, pt, epc, reg, cfg.rootSecret)
+	store := pagestore.NewStore()
+	kernel := hostos.NewKernel(cpu, pt, store, clock, &costs)
+	return &Machine{
+		Clock:  clock,
+		Costs:  &costs,
+		CPU:    cpu,
+		Kernel: kernel,
+		PT:     pt,
+		TLB:    tlb,
+		EPC:    epc,
+		Store:  store,
+	}
+}
+
+// LoadApp loads an application image as an enclave under the given
+// configuration.
+func (m *Machine) LoadApp(img AppImage, cfg Config) (*Process, error) {
+	return libos.Load(m.Kernel, m.Clock, m.Costs, img, cfg)
+}
+
+// Cycles reports the machine's logical time.
+func (m *Machine) Cycles() uint64 { return m.Clock.Cycles() }

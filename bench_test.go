@@ -1,0 +1,165 @@
+package autarky
+
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation (§7). Each benchmark regenerates its artifact through
+// internal/experiments and reports the headline quantity as custom metrics
+// (logical cycles and model-derived rates), so `go test -bench` reproduces
+// the full evaluation. `cmd/autarky-bench` prints the same data as tables.
+
+import (
+	"testing"
+
+	"autarky/internal/experiments"
+)
+
+// BenchmarkE1NbenchOverhead regenerates the §7 architecture-overhead
+// analysis: nbench under the pessimistic 10-cycle A/D check.
+// Paper: 0.07% geomean slowdown (vs T-SGX ~1.5x).
+func BenchmarkE1NbenchOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunE1(4)
+		b.ReportMetric(r.GeomeanPct, "geomean-slowdown-%")
+	}
+}
+
+// BenchmarkFig5PagingLatency regenerates Figure 5: per-page paging latency
+// under SGXv1 and SGXv2, fetch and evict, component breakdown.
+func BenchmarkFig5PagingLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunE2(20)
+		for _, s := range r.Stacks {
+			if s.Op == "page-fault" {
+				b.ReportMetric(float64(s.Total), s.Mech+"-fault-cycles/page")
+			} else {
+				b.ReportMetric(float64(s.Total), s.Mech+"-evict-cycles/page")
+			}
+		}
+	}
+}
+
+// BenchmarkFig6ClusterSweep regenerates Figure 6: uthash throughput vs
+// pages-per-cluster, against cached and uncached ORAM.
+func BenchmarkFig6ClusterSweep(b *testing.B) {
+	p := experiments.DefaultE3Params()
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunE3(p)
+		b.ReportMetric(r.Fresh[0].ReqPerSec, "cluster1-req/s")
+		b.ReportMetric(r.ORAMCached.ReqPerSec, "oram-cached-req/s")
+		b.ReportMetric(r.ORAMUncached.ReqPerSec, "oram-uncached-req/s")
+	}
+}
+
+// BenchmarkFig7RateLimited regenerates Figure 7: rate-limited paging on
+// the 14 Phoenix/PARSEC applications. Paper: ~6% mean slowdown (2% with
+// AEX elision).
+func BenchmarkFig7RateLimited(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunE4(1)
+		b.ReportMetric((r.GeomeanSlow-1)*100, "geomean-slowdown-%")
+		b.ReportMetric((r.GeomeanElide-1)*100, "elided-slowdown-%")
+	}
+}
+
+// BenchmarkTable2Apps regenerates Table 2: end-to-end libjpeg, Hunspell and
+// FreeType under Autarky and its optimization levels.
+func BenchmarkTable2Apps(b *testing.B) {
+	p := experiments.DefaultE5Params()
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunE5(p)
+		for _, row := range r.Rows {
+			b.ReportMetric((row.Variants[1].VsBase-1)*100, row.Workload+"-autarky-%")
+		}
+	}
+}
+
+// BenchmarkFig8Memcached regenerates Figure 8: Memcached + YCSB-C across
+// four key distributions and four paging configurations.
+func BenchmarkFig8Memcached(b *testing.B) {
+	p := experiments.DefaultE6Params()
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunE6(p)
+		b.ReportMetric(r.Rows[0].ReqPerSec, "uniform-baseline-req/s")
+		b.ReportMetric(r.Rows[3].ReqPerSec, "uniform-oram-req/s")
+		b.ReportMetric(r.Rows[15].VsBaseline, "hotspot99-oram-vs-baseline")
+	}
+}
+
+// BenchmarkE7Attacks regenerates the security evaluation: the four
+// controlled-channel attacks against both models.
+func BenchmarkE7Attacks(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunE7()
+		recovered := 0.0
+		for _, s := range r.Scenarios {
+			recovered += s.VanillaRecovery
+		}
+		b.ReportMetric(recovered/float64(len(r.Scenarios))*100, "vanilla-recovery-%")
+	}
+}
+
+// BenchmarkE8Ablations regenerates the ablation study: fault-path
+// optimization levels, paging mechanisms and eviction policies.
+func BenchmarkE8Ablations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunE8(10)
+		for _, f := range r.FaultPath {
+			if f.Mech == "SGX1" {
+				b.ReportMetric(f.CyclesPerFlt, f.Variant+"-cycles/fault")
+			}
+		}
+	}
+}
+
+// BenchmarkMachineTouchResident measures the simulator's own speed on the
+// hot path (one resident enclave access), to keep the model usable for
+// large parameter sweeps.
+func BenchmarkMachineTouchResident(b *testing.B) {
+	m := NewMachine(WithEPCFrames(1024))
+	p, err := m.LoadApp(AppImage{
+		Name:      "hot",
+		Libraries: []Library{{Name: "libhot.so", Pages: 2}},
+		HeapPages: 8,
+	}, Config{SelfPaging: true, Policy: PolicyPinAll})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	err = p.Run(func(ctx *Context) {
+		va := p.Heap.Page(0)
+		for i := 0; i < b.N; i++ {
+			ctx.Load(va)
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSelfPagingFaultPath measures the simulator's speed on the full
+// fault path (fault, handler, fetch, evict).
+func BenchmarkSelfPagingFaultPath(b *testing.B) {
+	m := NewMachine(WithEPCFrames(1024))
+	p, err := m.LoadApp(AppImage{
+		Name:      "fault",
+		Libraries: []Library{{Name: "libfault.so", Pages: 2}},
+		HeapPages: 64,
+	}, Config{
+		SelfPaging:     true,
+		Policy:         PolicyRateLimit,
+		RateLimitBurst: 1 << 40,
+		QuotaPages:     24,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	err = p.Run(func(ctx *Context) {
+		heap := p.Heap.PageVAs()
+		for i := 0; i < b.N; i++ {
+			ctx.Store(heap[i%len(heap)])
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,62 @@
+// Command attack-demo runs the published controlled-channel attacks against
+// both the vanilla SGX model and the Autarky model, narrating what the
+// OS-level adversary observes and recovers in each case.
+//
+// It is the end-to-end demonstration of the paper's claim: on vanilla SGX
+// the attacks recover the secrets noise-free; under Autarky the fault
+// information is masked, the silent-resume path is architecturally blocked,
+// and the trusted runtime detects and terminates on the induced faults.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"autarky/internal/experiments"
+)
+
+func main() {
+	fmt.Println("Autarky controlled-channel attack demonstration")
+	fmt.Println("================================================")
+	fmt.Println()
+	fmt.Println("Running five published attack variants against both models:")
+	fmt.Println("  1. Hunspell word recovery via page-fault injection (Xu et al. 2015)")
+	fmt.Println("  2. Hunspell word recovery via wrong mappings (the Foreshadow precursor)")
+	fmt.Println("  3. FreeType text recovery via execute-permission traps")
+	fmt.Println("  4. libjpeg image recovery via IDCT fault counting")
+	fmt.Println("  5. Hunspell recovery via the silent A/D-bit monitor (Wang et al. 2017)")
+
+	res := experiments.RunE7()
+	res.Table().Fprint(os.Stdout)
+
+	fmt.Println()
+	ok := true
+	for _, s := range res.Scenarios {
+		if s.VanillaRecovery < 0.5 {
+			fmt.Printf("UNEXPECTED: %s recovered only %.0f%% on vanilla SGX\n", s.Name, s.VanillaRecovery*100)
+			ok = false
+		}
+		if !s.AutarkyTerminated || s.AutarkyRecovery > 0 {
+			fmt.Printf("UNEXPECTED: %s not stopped by Autarky\n", s.Name)
+			ok = false
+		}
+	}
+	if !ok {
+		os.Exit(1)
+	}
+	fmt.Println("All attacks succeeded against vanilla SGX and were detected under Autarky.")
+
+	fmt.Println()
+	fmt.Println("Residual channel (§5.3): the termination attack")
+	fmt.Println("-----------------------------------------------")
+	tr := experiments.RunE7Termination()
+	fmt.Printf("dictionary pages:            %d\n", tr.DictPages)
+	fmt.Printf("bits per enclave lifetime:   1 (terminated / completed)\n")
+	fmt.Printf("restarts to localize a page: %d (information-theoretic minimum %d)\n",
+		tr.RestartsUsed, tr.TheoreticalMin)
+	fmt.Printf("every fatal fault masked:    %v\n", tr.MaskedWhenFatal)
+	fmt.Printf("restart monitor (budget %d): flagged at restart %d\n",
+		tr.MonitorBudget, tr.FlaggedAtRun)
+	fmt.Println("The attacker pays one detectable restart per bit; the attested")
+	fmt.Println("restart monitor (§3) flags the harvesting almost immediately.")
+}

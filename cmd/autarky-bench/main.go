@@ -1,0 +1,93 @@
+// Command autarky-bench regenerates every table and figure of the paper's
+// evaluation (§7) from the architectural model. Each experiment prints the
+// same rows/series the paper reports, with the paper's qualitative shape
+// noted alongside.
+//
+// Usage:
+//
+//	autarky-bench                  # run everything at default scale
+//	autarky-bench -exp fig6        # one experiment (e1,fig5,fig6,fig7,table2,fig8,security,ablation)
+//	autarky-bench -scale 4         # larger workloads (slower, smoother numbers)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"autarky/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: e1, fig5, fig6, fig7, table2, fig8, security, ablation, sensitivity, or all")
+	scale := flag.Int("scale", 1, "workload scale factor (iterations / dataset multiplier)")
+	flag.Parse()
+
+	run := func(name string) bool {
+		return *exp == "all" || strings.EqualFold(*exp, name)
+	}
+
+	ran := false
+	if run("e1") {
+		experiments.RunE1(4 * *scale).Table().Fprint(os.Stdout)
+		ran = true
+	}
+	if run("fig5") || run("e2") {
+		experiments.RunE2(20 * *scale).Table().Fprint(os.Stdout)
+		ran = true
+	}
+	if run("fig6") || run("e3") {
+		p := experiments.DefaultE3Params()
+		p.Lookups *= *scale
+		experiments.RunE3(p).Table().Fprint(os.Stdout)
+		ran = true
+	}
+	if run("fig7") || run("e4") {
+		experiments.RunE4(*scale).Table().Fprint(os.Stdout)
+		ran = true
+	}
+	if run("table2") || run("e5") {
+		p := experiments.DefaultE5Params()
+		p.HunspellWords *= *scale
+		p.FreeTypeChars *= *scale
+		experiments.RunE5(p).Table().Fprint(os.Stdout)
+		ran = true
+	}
+	if run("fig8") || run("e6") {
+		p := experiments.DefaultE6Params()
+		p.Requests *= *scale
+		experiments.RunE6(p).Table().Fprint(os.Stdout)
+		ran = true
+	}
+	if run("mixed") || run("e6m") {
+		p := experiments.DefaultE6Params()
+		p.Requests *= *scale
+		experiments.RunE6Mixed(p).Table().Fprint(os.Stdout)
+		ran = true
+	}
+	if run("security") || run("e7") {
+		experiments.RunE7().Table().Fprint(os.Stdout)
+		ran = true
+	}
+	if run("leakage") || run("e7c") {
+		experiments.RunE7Leakage().Table().Fprint(os.Stdout)
+		ran = true
+	}
+	if run("ablation") || run("e8") {
+		experiments.RunE8(10 * *scale).Table().Fprint(os.Stdout)
+		ran = true
+	}
+	if run("codeclusters") || run("e8b") {
+		experiments.RunE8CodeClusters(600 * *scale).Table().Fprint(os.Stdout)
+		ran = true
+	}
+	if run("sensitivity") || run("e9") {
+		experiments.RunE9().Table().Fprint(os.Stdout)
+		ran = true
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,3 @@
+module autarky
+
+go 1.22

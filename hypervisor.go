@@ -1,0 +1,68 @@
+package autarky
+
+import (
+	"fmt"
+
+	"autarky/internal/mmu"
+)
+
+// Hypervisor models the §5.4 virtualization mode the paper identifies as
+// requiring no changes: static EPC partitioning. Each guest VM receives a
+// disjoint slice of the physical EPC and runs its own (untrusted) kernel;
+// Autarky enclaves inside a guest work exactly as on bare metal, and no
+// guest can name another guest's frames ("cloud platforms that statically
+// partition EPC will require no modification").
+//
+// Transparent hypervisor demand paging of EPC is intentionally absent:
+// Autarky forbids it (§5.4) because the VM cannot observe masked faults.
+type Hypervisor struct {
+	totalFrames int
+	nextFrame   mmu.PFN
+	remaining   int
+	guests      []*Machine
+}
+
+// NewHypervisor owns totalFrames of physical EPC to hand out.
+func NewHypervisor(totalFrames int) *Hypervisor {
+	if totalFrames <= 0 {
+		panic("autarky: hypervisor needs a positive EPC size")
+	}
+	return &Hypervisor{
+		totalFrames: totalFrames,
+		nextFrame:   mmu.PFN(0x100000),
+		remaining:   totalFrames,
+	}
+}
+
+// Remaining reports unassigned EPC frames.
+func (h *Hypervisor) Remaining() int { return h.remaining }
+
+// Guests returns the created guest machines.
+func (h *Hypervisor) Guests() []*Machine { return h.guests }
+
+// CreateGuest carves frames of EPC into a new guest VM. The guest's EPC
+// PFN range is disjoint from every other guest's — the static-partitioning
+// guarantee.
+func (h *Hypervisor) CreateGuest(frames int, opts ...Option) (*Machine, error) {
+	if frames <= 0 {
+		return nil, fmt.Errorf("autarky: guest needs a positive EPC share")
+	}
+	if frames > h.remaining {
+		return nil, fmt.Errorf("autarky: EPC exhausted: %d frames requested, %d remain of %d",
+			frames, h.remaining, h.totalFrames)
+	}
+	base := h.nextFrame
+	h.nextFrame += mmu.PFN(frames)
+	h.remaining -= frames
+
+	opts = append(opts, WithEPCFrames(frames), withEPCBase(base))
+	g := NewMachine(opts...)
+	h.guests = append(h.guests, g)
+	return g, nil
+}
+
+// GuestEPCRange reports a guest's frame range [base, base+frames), for
+// verifying partition disjointness.
+func GuestEPCRange(m *Machine) (base mmu.PFN, frames int) {
+	return m.EPC.Base, m.EPC.NumFrames()
+}

@@ -1,0 +1,193 @@
+// Package attack implements the controlled-channel attacks of §2.2 as
+// OS-level adversaries plugged into the untrusted kernel:
+//
+//   - PageFaultTracer: the original Xu et al. attack — unmap target pages,
+//     capture the induced faults, silently restore and resume, yielding a
+//     noise-free page-granular access trace. A variant strips execute
+//     permission instead (Van Bulck et al.).
+//   - ADBitMonitor: the "silent" Wang et al. attack — periodically clear
+//     and re-read PTE accessed/dirty bits from a timer, observing accesses
+//     without inducing any fault.
+//
+// Both succeed verbatim against the legacy SGX model and are detected (or
+// blinded) by the Autarky model, which is exactly the paper's claim.
+package attack
+
+import (
+	"autarky/internal/hostos"
+	"autarky/internal/mmu"
+	"autarky/internal/trace"
+)
+
+// Mode selects how the PageFaultTracer induces faults.
+type Mode int
+
+// Tracing modes.
+const (
+	// ModeUnmap clears the present bit (original attack).
+	ModeUnmap Mode = iota
+	// ModeNoExec strips execute permission from code pages, trapping
+	// instruction fetches while leaving data access unaffected.
+	ModeNoExec
+)
+
+// PageFaultTracer traces enclave accesses to a set of target pages by
+// breaking their PTEs and capturing the resulting faults. After each
+// captured fault it repairs the faulted page and re-breaks the previously
+// faulted one, maintaining a sliding trap so consecutive accesses keep
+// faulting — the standard page-fault sequence attack.
+type PageFaultTracer struct {
+	Mode    Mode
+	Targets []mmu.VAddr
+
+	// Log records the captured trace (page-granular, in access order).
+	Log trace.Log
+
+	armed     bool
+	last      mmu.VAddr
+	lastValid bool
+	origPerms map[uint64]mmu.Perms
+}
+
+// NewPageFaultTracer builds a tracer for the target pages.
+func NewPageFaultTracer(mode Mode, targets []mmu.VAddr) *PageFaultTracer {
+	return &PageFaultTracer{Mode: mode, Targets: targets, origPerms: make(map[uint64]mmu.Perms)}
+}
+
+// Arm breaks all target PTEs. Call before the victim runs.
+func (t *PageFaultTracer) Arm(k *hostos.Kernel) {
+	t.armed = true
+	for _, va := range t.Targets {
+		t.breakPage(k, va)
+	}
+}
+
+// Disarm restores every target page and stops tracing.
+func (t *PageFaultTracer) Disarm(k *hostos.Kernel) {
+	t.armed = false
+	for _, va := range t.Targets {
+		t.fixPage(k, va)
+	}
+	t.lastValid = false
+}
+
+func (t *PageFaultTracer) isTarget(va mmu.VAddr) bool {
+	for _, x := range t.Targets {
+		if x.PageBase() == va.PageBase() {
+			return true
+		}
+	}
+	return false
+}
+
+func (t *PageFaultTracer) breakPage(k *hostos.Kernel, va mmu.VAddr) {
+	switch t.Mode {
+	case ModeUnmap:
+		k.UnmapPage(va)
+	case ModeNoExec:
+		if pte, ok := k.PT.Get(va); ok {
+			if _, saved := t.origPerms[va.VPN()]; !saved {
+				t.origPerms[va.VPN()] = pte.Perms
+			}
+			k.ReducePerms(va, pte.Perms&^mmu.PermExec)
+		}
+	}
+}
+
+func (t *PageFaultTracer) fixPage(k *hostos.Kernel, va mmu.VAddr) {
+	switch t.Mode {
+	case ModeUnmap:
+		k.RestorePage(va)
+	case ModeNoExec:
+		if perms, ok := t.origPerms[va.VPN()]; ok {
+			k.ReducePerms(va, perms)
+		}
+	}
+}
+
+// OnEnclaveFault implements hostos.Adversary: capture, repair, re-arm the
+// previous page, and report the fault handled so the kernel resumes
+// silently.
+func (t *PageFaultTracer) OnEnclaveFault(k *hostos.Kernel, p *hostos.Proc, f *mmu.Fault) bool {
+	if !t.armed || !t.isTarget(f.Addr) {
+		return false
+	}
+	t.Log.Add(trace.Event{Cycle: k.Clock.Cycles(), Addr: f.Addr.PageBase(), Type: f.Type, Kind: trace.KindFault})
+	t.fixPage(k, f.Addr.PageBase())
+	if t.lastValid && t.last != f.Addr.PageBase() {
+		t.breakPage(k, t.last)
+	}
+	t.last = f.Addr.PageBase()
+	t.lastValid = true
+	return true
+}
+
+// OnTimer implements hostos.Adversary.
+func (t *PageFaultTracer) OnTimer(*hostos.Kernel, *hostos.Proc) {}
+
+// ADBitMonitor mounts the fault-free accessed/dirty-bit attack: on every
+// preemption-timer tick it scans the target PTEs, records pages whose A (or
+// D) bit turned on since the last scan, and clears the bits again.
+type ADBitMonitor struct {
+	Targets []mmu.VAddr
+	// WatchDirty also monitors dirty-bit transitions (write detection).
+	WatchDirty bool
+
+	// Log records observed accesses in scan order.
+	Log trace.Log
+
+	armed bool
+}
+
+// NewADBitMonitor builds a monitor for the target pages.
+func NewADBitMonitor(targets []mmu.VAddr, watchDirty bool) *ADBitMonitor {
+	return &ADBitMonitor{Targets: targets, WatchDirty: watchDirty}
+}
+
+// Arm clears all target A/D bits so the first accesses are observable.
+// The victim machine's CPU.TimerInterval must be non-zero for the monitor
+// to receive scan opportunities.
+func (m *ADBitMonitor) Arm(k *hostos.Kernel) {
+	m.armed = true
+	m.scan(k) // initial clear
+	m.Log.Reset()
+}
+
+// Disarm stops scanning.
+func (m *ADBitMonitor) Disarm() { m.armed = false }
+
+// ScanNow performs an immediate scan — attackers invoke it at request
+// boundaries (when the victim blocks on I/O) to delimit per-request
+// observations cleanly.
+func (m *ADBitMonitor) ScanNow(k *hostos.Kernel) {
+	if m.armed {
+		m.scan(k)
+	}
+}
+
+func (m *ADBitMonitor) scan(k *hostos.Kernel) {
+	for _, va := range m.Targets {
+		accessed, dirty, ok := k.ReadADBits(va)
+		if !ok {
+			continue
+		}
+		if accessed {
+			m.Log.Add(trace.Event{Cycle: k.Clock.Cycles(), Addr: va.PageBase(), Type: mmu.AccessRead, Kind: trace.KindAccessedBit})
+			k.ClearAccessedBit(va)
+		}
+		if m.WatchDirty && dirty {
+			m.Log.Add(trace.Event{Cycle: k.Clock.Cycles(), Addr: va.PageBase(), Type: mmu.AccessWrite, Kind: trace.KindDirtyBit})
+			k.ClearDirtyBit(va)
+		}
+	}
+}
+
+// OnEnclaveFault implements hostos.Adversary.
+func (m *ADBitMonitor) OnEnclaveFault(*hostos.Kernel, *hostos.Proc, *mmu.Fault) bool { return false }
+
+// OnTimer implements hostos.Adversary: one scan per tick.
+func (m *ADBitMonitor) OnTimer(k *hostos.Kernel, _ *hostos.Proc) {
+	if m.armed {
+		m.scan(k)
+	}
+}

@@ -1,0 +1,109 @@
+package attack
+
+import (
+	"autarky/internal/hostos"
+	"autarky/internal/mmu"
+	"autarky/internal/trace"
+)
+
+// WrongMapper implements the remaining §2.2 fault-induction variant: the OS
+// "simply map[s] the wrong page". The PTE stays present, but points at
+// another enclave frame; the EPCM linear-address check faults on access, the
+// OS captures it, restores the right frame, and silently resumes. Foreshadow
+// used exactly this primitive as its precursor.
+type WrongMapper struct {
+	Targets []mmu.VAddr
+	// Log records the captured accesses.
+	Log trace.Log
+
+	armed     bool
+	last      mmu.VAddr
+	lastValid bool
+	// origPFN remembers each target's correct frame for restoration.
+	origPFN map[uint64]mmu.PFN
+	// decoyPFN is any other frame of the same enclave used as the wrong
+	// mapping.
+	decoyPFN mmu.PFN
+}
+
+// NewWrongMapper builds the adversary. decoy must be a page of the same
+// enclave outside the target set; its frame is used as the wrong mapping.
+func NewWrongMapper(k *hostos.Kernel, targets []mmu.VAddr, decoy mmu.VAddr) *WrongMapper {
+	w := &WrongMapper{Targets: targets, origPFN: make(map[uint64]mmu.PFN)}
+	if pte, ok := k.PT.Get(decoy); ok {
+		w.decoyPFN = pte.PFN
+	}
+	return w
+}
+
+// Arm remaps every target page to the decoy frame.
+func (w *WrongMapper) Arm(k *hostos.Kernel) {
+	w.armed = true
+	for _, va := range w.Targets {
+		w.misMap(k, va)
+	}
+}
+
+// Disarm restores all correct mappings.
+func (w *WrongMapper) Disarm(k *hostos.Kernel) {
+	w.armed = false
+	for _, va := range w.Targets {
+		w.fix(k, va)
+	}
+	w.lastValid = false
+}
+
+func (w *WrongMapper) misMap(k *hostos.Kernel, va mmu.VAddr) {
+	pte, ok := k.PT.Get(va)
+	if !ok || !pte.Present || pte.PFN == w.decoyPFN {
+		return
+	}
+	if _, saved := w.origPFN[va.VPN()]; !saved {
+		w.origPFN[va.VPN()] = pte.PFN
+	}
+	// Preserve A/D so the remap is invisible to Autarky's A/D rule until
+	// the EPCM check fires.
+	k.PT.MapAD(va, w.decoyPFN, pte.Perms, true, pte.Accessed, pte.Dirty)
+	k.CPU.TLB.Shootdown(va)
+}
+
+func (w *WrongMapper) fix(k *hostos.Kernel, va mmu.VAddr) {
+	pfn, ok := w.origPFN[va.VPN()]
+	if !ok {
+		return
+	}
+	pte, present := k.PT.Get(va)
+	if !present {
+		return
+	}
+	k.PT.MapAD(va, pfn, pte.Perms, true, true, true)
+	k.CPU.TLB.Shootdown(va)
+}
+
+func (w *WrongMapper) isTarget(va mmu.VAddr) bool {
+	for _, x := range w.Targets {
+		if x.PageBase() == va.PageBase() {
+			return true
+		}
+	}
+	return false
+}
+
+// OnEnclaveFault implements hostos.Adversary: record, fix, re-mismap the
+// previous target, resume silently.
+func (w *WrongMapper) OnEnclaveFault(k *hostos.Kernel, p *hostos.Proc, f *mmu.Fault) bool {
+	if !w.armed || !w.isTarget(f.Addr) {
+		return false
+	}
+	w.Log.Add(trace.Event{Cycle: k.Clock.Cycles(), Addr: f.Addr.PageBase(), Type: f.Type, Kind: trace.KindFault})
+	w.fix(k, f.Addr.PageBase())
+	if w.lastValid && w.last != f.Addr.PageBase() {
+		w.misMap(k, w.last)
+	}
+	w.last = f.Addr.PageBase()
+	w.lastValid = true
+	return true
+}
+
+// OnTimer implements hostos.Adversary.
+func (w *WrongMapper) OnTimer(*hostos.Kernel, *hostos.Proc) {}

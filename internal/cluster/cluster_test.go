@@ -1,0 +1,258 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"autarky/internal/sim"
+)
+
+func TestInitClusters(t *testing.T) {
+	r := NewRegistry()
+	ids, err := r.InitClusters(3, 8)
+	if err != nil || len(ids) != 3 {
+		t.Fatalf("InitClusters: %v %v", ids, err)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	for _, id := range ids {
+		c, ok := r.Cluster(id)
+		if !ok || c.Len() != 0 {
+			t.Fatalf("cluster %d: %v %v", id, c, ok)
+		}
+	}
+	if _, err := r.InitClusters(0, 1); err == nil {
+		t.Fatal("InitClusters(0) accepted")
+	}
+}
+
+func TestAddRemovePage(t *testing.T) {
+	r := NewRegistry()
+	id := r.NewCluster(2)
+	if err := r.AddPage(id, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddPage(id, 10); err != nil {
+		t.Fatal("duplicate add must be a no-op")
+	}
+	if err := r.AddPage(id, 11); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddPage(id, 12); !errors.Is(err, ErrFull) {
+		t.Fatalf("over-capacity add: %v", err)
+	}
+	if got := r.GetClusterIDs(10); len(got) != 1 || got[0] != id {
+		t.Fatalf("GetClusterIDs = %v", got)
+	}
+	if err := r.RemovePage(id, 10); err != nil {
+		t.Fatal(err)
+	}
+	if r.Clustered(10) {
+		t.Fatal("page still clustered after removal")
+	}
+	if err := r.RemovePage(id, 99); err != nil {
+		t.Fatal("removing absent page must be a no-op")
+	}
+	if err := r.AddPage(999, 1); !errors.Is(err, ErrNoCluster) {
+		t.Fatalf("unknown cluster: %v", err)
+	}
+}
+
+func TestSharedPageMembership(t *testing.T) {
+	r := NewRegistry()
+	a := r.NewCluster(0)
+	b := r.NewCluster(0)
+	r.AddPage(a, 1)
+	r.AddPage(b, 1)
+	ids := r.GetClusterIDs(1)
+	if len(ids) != 2 || ids[0] != a || ids[1] != b {
+		t.Fatalf("shared membership = %v", ids)
+	}
+}
+
+func TestReleaseClusters(t *testing.T) {
+	r := NewRegistry()
+	id := r.NewCluster(0)
+	r.AddPage(id, 1)
+	r.ReleaseClusters()
+	if r.Len() != 0 || r.Clustered(1) {
+		t.Fatal("release did not clear state")
+	}
+	if err := r.AddPage(id, 2); !errors.Is(err, ErrReleased) {
+		t.Fatalf("mutation after release: %v", err)
+	}
+	if _, err := r.InitClusters(1, 1); !errors.Is(err, ErrReleased) {
+		t.Fatalf("init after release: %v", err)
+	}
+}
+
+func TestClosureUnclusteredPage(t *testing.T) {
+	r := NewRegistry()
+	got := r.Closure(42)
+	if len(got) != 1 || got[0] != 42 {
+		t.Fatalf("Closure = %v", got)
+	}
+}
+
+func TestClosureDisjointCluster(t *testing.T) {
+	r := NewRegistry()
+	a := r.NewCluster(0)
+	for _, p := range []uint64{1, 2, 3} {
+		r.AddPage(a, p)
+	}
+	b := r.NewCluster(0)
+	for _, p := range []uint64{10, 11} {
+		r.AddPage(b, p)
+	}
+	got := r.Closure(2)
+	want := []uint64{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("Closure = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Closure = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestClosureTransitiveSharing(t *testing.T) {
+	// A={1,2}, B={2,3}, C={3,4}, D={9}: closure of 1 is A∪B∪C; D excluded.
+	r := NewRegistry()
+	a, b, c, d := r.NewCluster(0), r.NewCluster(0), r.NewCluster(0), r.NewCluster(0)
+	r.AddPage(a, 1)
+	r.AddPage(a, 2)
+	r.AddPage(b, 2)
+	r.AddPage(b, 3)
+	r.AddPage(c, 3)
+	r.AddPage(c, 4)
+	r.AddPage(d, 9)
+	got := r.Closure(1)
+	want := []uint64{1, 2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("Closure = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Closure = %v, want %v", got, want)
+		}
+	}
+	ids := r.ClosureClusters(1)
+	if len(ids) != 3 {
+		t.Fatalf("ClosureClusters = %v", ids)
+	}
+}
+
+func TestCheckInvariantDetectsViolation(t *testing.T) {
+	r := NewRegistry()
+	a := r.NewCluster(0)
+	r.AddPage(a, 1)
+	r.AddPage(a, 2)
+	// Page 1 non-resident but page 2 resident: cluster A is partially
+	// resident, and 1 has no fully-non-resident cluster — violation.
+	resident := map[uint64]bool{2: true}
+	err := r.CheckInvariant(func(vpn uint64) bool { return resident[vpn] })
+	if err == nil {
+		t.Fatal("violation not detected")
+	}
+	// All of A out: fine.
+	resident[2] = false
+	if err := r.CheckInvariant(func(vpn uint64) bool { return resident[vpn] }); err != nil {
+		t.Fatalf("false positive: %v", err)
+	}
+	// All resident: fine.
+	resident[1], resident[2] = true, true
+	if err := r.CheckInvariant(func(vpn uint64) bool { return resident[vpn] }); err != nil {
+		t.Fatalf("false positive: %v", err)
+	}
+}
+
+func TestSharedEvictionIsSafe(t *testing.T) {
+	// Paper §5.2.3: evicting a single cluster that shares pages is safe.
+	r := NewRegistry()
+	a, b := r.NewCluster(0), r.NewCluster(0)
+	r.AddPage(a, 1)
+	r.AddPage(a, 2)
+	r.AddPage(b, 2)
+	r.AddPage(b, 3)
+	resident := map[uint64]bool{1: true, 2: true, 3: true}
+	// Evict all of A (including shared page 2).
+	for _, p := range []uint64{1, 2} {
+		resident[p] = false
+	}
+	if err := r.CheckInvariant(func(vpn uint64) bool { return resident[vpn] }); err != nil {
+		t.Fatalf("single-cluster eviction violated invariant: %v", err)
+	}
+}
+
+// TestClosureFetchMaintainsInvariant is the central property test: over
+// random cluster graphs and random fault/evict sequences, fetching the
+// transitive closure on fault and evicting whole clusters never violates
+// the invariant.
+func TestClosureFetchMaintainsInvariant(t *testing.T) {
+	type scenario struct {
+		Seed uint64
+	}
+	check := func(s scenario) bool {
+		rng := sim.NewRand(s.Seed)
+		r := NewRegistry()
+		const pages = 40
+		nclusters := rng.Intn(10) + 2
+		ids := make([]ID, nclusters)
+		for i := range ids {
+			ids[i] = r.NewCluster(0)
+		}
+		// Every page joins 1-2 random clusters.
+		for p := uint64(0); p < pages; p++ {
+			n := rng.Intn(2) + 1
+			for j := 0; j < n; j++ {
+				if err := r.AddPage(ids[rng.Intn(nclusters)], p); err != nil {
+					return false
+				}
+			}
+		}
+		resident := make(map[uint64]bool) // all start non-resident
+		for step := 0; step < 200; step++ {
+			if rng.Intn(2) == 0 {
+				// Fault: fetch the closure.
+				for _, vpn := range r.Closure(uint64(rng.Intn(pages))) {
+					resident[vpn] = true
+				}
+			} else {
+				// Evict one whole cluster.
+				c, ok := r.Cluster(ids[rng.Intn(nclusters)])
+				if !ok {
+					continue
+				}
+				for _, vpn := range c.Pages() {
+					resident[vpn] = false
+				}
+			}
+			if err := r.CheckInvariant(func(vpn uint64) bool { return resident[vpn] }); err != nil {
+				t.Logf("seed %d step %d: %v", s.Seed, step, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusterPagesSorted(t *testing.T) {
+	r := NewRegistry()
+	id := r.NewCluster(0)
+	for _, p := range []uint64{5, 1, 9, 3} {
+		r.AddPage(id, p)
+	}
+	c, _ := r.Cluster(id)
+	pages := c.Pages()
+	for i := 1; i < len(pages); i++ {
+		if pages[i-1] >= pages[i] {
+			t.Fatalf("Pages not sorted: %v", pages)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+
+	"autarky/internal/mmu"
+)
+
+// Context is the in-enclave execution context handed to the application
+// entry point. Its accessors drive the full architectural access path
+// (TLB, walk, EPCM and Autarky checks, fault handling), so workload memory
+// behaviour is what the attacks and policies see.
+//
+// Access errors that indicate simulator mis-wiring panic loudly; enclave
+// termination unwinds through the SGX layer and surfaces as a
+// *sgx.TerminationError from the kernel's Run call.
+type Context struct {
+	r *Runtime
+}
+
+// Runtime returns the owning runtime (for policy-specific calls).
+func (c *Context) Runtime() *Runtime { return c.r }
+
+func (c *Context) must(err error, op string, va mmu.VAddr) {
+	if err != nil {
+		panic(fmt.Sprintf("core: %s %s failed: %v", op, va, err))
+	}
+}
+
+// Load performs a data read at va.
+func (c *Context) Load(va mmu.VAddr) {
+	c.must(c.r.CPU.Touch(va, mmu.AccessRead), "load", va)
+}
+
+// Store performs a data write at va.
+func (c *Context) Store(va mmu.VAddr) {
+	c.must(c.r.CPU.Touch(va, mmu.AccessWrite), "store", va)
+}
+
+// Exec performs an instruction fetch at va (control-flow tracing is what
+// the FreeType attack observes).
+func (c *Context) Exec(va mmu.VAddr) {
+	c.must(c.r.CPU.Touch(va, mmu.AccessExec), "exec", va)
+}
+
+// Read copies memory at va into buf.
+func (c *Context) Read(va mmu.VAddr, buf []byte) {
+	c.must(c.r.CPU.Read(va, buf), "read", va)
+}
+
+// Write copies buf into memory at va.
+func (c *Context) Write(va mmu.VAddr, buf []byte) {
+	c.must(c.r.CPU.Write(va, buf), "write", va)
+}
+
+// Progress reports n units of application forward progress (socket
+// receives, allocations, requests served) — the clock against which the
+// rate-limiting policy bounds faults (§5.2.4: the enclave "lacks a reliable
+// time source" and counts progress instead).
+func (c *Context) Progress(n uint64) { c.r.progress += n }
+
+// ManagePages and ReleasePages expose the page-management transfer calls to
+// enlightened applications (libjpeg's ay_add_page-after-malloc pattern,
+// §7.3).
+func (c *Context) ManagePages(pages []mmu.VAddr, perms mmu.Perms, pinned bool) error {
+	return c.r.ManagePages(pages, perms, pinned)
+}
+
+// ReleasePages yields pages back to OS management.
+func (c *Context) ReleasePages(pages []mmu.VAddr) error {
+	return c.r.ReleasePages(pages)
+}

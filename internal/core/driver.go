@@ -1,0 +1,83 @@
+// Package core implements Autarky's primary contribution: the trusted
+// self-paging runtime (paper §5.2). It is the software that the modified
+// SGX hardware forcibly invokes on every enclave page fault, and it
+// enforces a secure paging policy: detecting OS-induced faults as attacks,
+// performing demand paging for enclave-managed pages through pluggable
+// policies (ORAM, page clusters, rate-limited demand paging), and
+// forwarding faults on OS-managed pages.
+package core
+
+import (
+	"errors"
+
+	"autarky/internal/mmu"
+	"autarky/internal/pagestore"
+	"autarky/internal/sgx"
+)
+
+// ErrEPCPressure is returned by Driver.FetchPages when the enclave's EPC
+// quota is exhausted and only pinned pages remain: the runtime must
+// ay_evict_pages of its own before retrying.
+var ErrEPCPressure = errors.New("autarky: EPC quota exhausted, enclave must evict")
+
+// PageStatus reports a page's residence at the time its management was
+// transferred to the enclave (returned by ay_set_enclave_managed so the
+// runtime can initialize its tracking, paper §5.2.1).
+type PageStatus struct {
+	VA       mmu.VAddr
+	Resident bool
+}
+
+// Driver is the runtime's view of the Autarky OS interface: the new system
+// calls of §5.2.1 plus the SGXv2 service calls of the software paging path
+// (§6). All calls are exitless host calls; the untrusted kernel
+// (internal/hostos) implements the interface.
+//
+// Everything returned by a Driver is untrusted input: the runtime verifies
+// page contents cryptographically and treats inconsistent answers as
+// attacks.
+type Driver interface {
+	// SetOSManaged yields management of pages to the OS (ay_set_os_managed).
+	SetOSManaged(e *sgx.Enclave, pages []mmu.VAddr) error
+	// SetEnclaveManaged claims pages for the enclave and returns their
+	// current residence (ay_set_enclave_managed).
+	SetEnclaveManaged(e *sgx.Enclave, pages []mmu.VAddr) ([]PageStatus, error)
+	// FetchPages pages the given batch in via the SGXv1 path
+	// (ay_fetch_pages).
+	FetchPages(e *sgx.Enclave, pages []mmu.VAddr) error
+	// EvictPages pages the given batch out via the SGXv1 path
+	// (ay_evict_pages).
+	EvictPages(e *sgx.Enclave, pages []mmu.VAddr) error
+	// Quota reports the enclave's resident-frame limit (0 = unlimited) and
+	// its current residency.
+	Quota(e *sgx.Enclave) (limit, resident int)
+
+	// SGXv2 software-paging services.
+	AugPages(e *sgx.Enclave, pages []mmu.VAddr, perms []mmu.Perms) ([]mmu.PFN, error)
+	GetBlob(e *sgx.Enclave, va mmu.VAddr) (pagestore.Blob, error)
+	PutBlob(e *sgx.Enclave, va mmu.VAddr, b pagestore.Blob) error
+	RestrictPerms(e *sgx.Enclave, va mmu.VAddr, perms mmu.Perms) (mmu.PFN, error)
+	TrimPage(e *sgx.Enclave, va mmu.VAddr) (mmu.PFN, error)
+	RemovePage(e *sgx.Enclave, va mmu.VAddr) error
+}
+
+// Mech selects the paging mechanism the runtime drives (paper §6 evaluates
+// both; §7.1 finds SGXv1 faster and uses it for the rest of the paper).
+type Mech int
+
+// Paging mechanisms.
+const (
+	// MechSGX1 delegates sealing to the privileged EWB/ELDU instructions.
+	MechSGX1 Mech = iota
+	// MechSGX2 performs encryption in enclave software over the dynamic
+	// memory-management instructions.
+	MechSGX2
+)
+
+// String names the mechanism.
+func (m Mech) String() string {
+	if m == MechSGX1 {
+		return "SGX1"
+	}
+	return "SGX2"
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+
+	"autarky/internal/mmu"
+)
+
+// This file implements the SGXv2 software self-paging path (paper §6): the
+// runtime performs the page encryption itself with its sealing key and uses
+// the dynamic memory-management instructions, at the cost of extra enclave
+// crossings per page.
+
+// fetchSGX2 brings pages in: the driver EAUGs pending frames; the runtime
+// reads the sealed blob from untrusted memory, decrypts and authenticates
+// it against its own version counter, and EACCEPTCOPYs the plaintext.
+// A page that was never evicted before is simply accepted zero-filled.
+func (r *Runtime) fetchSGX2(pages []mmu.VAddr) error {
+	perms := make([]mmu.Perms, len(pages))
+	for i, va := range pages {
+		perms[i] = r.pages[va.VPN()].perms
+	}
+	pfns, err := r.Driver.AugPages(r.enclave, pages, perms)
+	if err != nil {
+		return err
+	}
+	if len(pfns) != len(pages) {
+		return fmt.Errorf("core: driver EAUGed %d of %d pages", len(pfns), len(pages))
+	}
+	sealer := r.enclave.Sealer()
+	for i, va := range pages {
+		pi := r.pages[va.VPN()]
+		var plain []byte
+		if pi.version > 0 {
+			blob, err := r.Driver.GetBlob(r.enclave, va)
+			if err != nil {
+				return fmt.Errorf("core: blob for %s missing: %w", va, err)
+			}
+			plain, err = sealer.Open(va, pi.version, blob)
+			if err != nil {
+				// Tampered or replayed content: integrity violation.
+				return fmt.Errorf("core: page %s: %w", va, err)
+			}
+			r.Clock.Advance(r.Costs.SWDecryptPage)
+		}
+		if err := r.CPU.EACCEPTCOPY(va, pfns[i], plain, pi.perms); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// evictSGX2 writes pages out: restrict to read-only (EMODPR+EACCEPT) so the
+// content is stable, read and seal it in software, hand the blob to the OS,
+// then trim and remove the page (EMODT+EACCEPT+EREMOVE).
+func (r *Runtime) evictSGX2(pages []mmu.VAddr) error {
+	sealer := r.enclave.Sealer()
+	for _, va := range pages {
+		pi := r.pages[va.VPN()]
+		roPerms := pi.perms &^ mmu.PermWrite
+		pfn, err := r.Driver.RestrictPerms(r.enclave, va, roPerms)
+		if err != nil {
+			return err
+		}
+		if err := r.CPU.EACCEPT(va, pfn); err != nil {
+			return err
+		}
+		data, err := r.CPU.ReadEnclavePage(va, pfn)
+		if err != nil {
+			return err
+		}
+		pi.version++
+		r.Clock.Advance(r.Costs.SWEncryptPage)
+		blob, err := sealer.Seal(va, pi.version, data)
+		if err != nil {
+			return err
+		}
+		if err := r.Driver.PutBlob(r.enclave, va, blob); err != nil {
+			return err
+		}
+		trimPFN, err := r.Driver.TrimPage(r.enclave, va)
+		if err != nil {
+			return err
+		}
+		if err := r.CPU.EACCEPT(va, trimPFN); err != nil {
+			return err
+		}
+		if err := r.Driver.RemovePage(r.enclave, va); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,414 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"autarky/internal/mmu"
+	"autarky/internal/sgx"
+	"autarky/internal/sim"
+)
+
+// RuntimeStats counts runtime-level events for the experiments.
+type RuntimeStats struct {
+	HandlerInvocations uint64 // trusted fault-handler runs
+	SelfFaults         uint64 // legitimate faults on enclave-managed pages
+	ForwardedFaults    uint64 // faults on OS-managed pages forwarded to OS
+	FetchedPages       uint64 // pages fetched by self-paging
+	EvictedPages       uint64 // pages evicted by self-paging
+	BalloonEvictions   uint64 // pages released through OS upcalls
+	AttacksDetected    uint64
+}
+
+// pageInfo is the runtime's tracking for one enclave-managed page
+// (paper §5.2.1: "the trusted runtime tracks the residence status of each
+// page and treats any unexpected fault on a purportedly-resident page as an
+// attack").
+type pageInfo struct {
+	va       mmu.VAddr
+	resident bool
+	pinned   bool // never evicted (code, handler, metadata pages)
+	perms    mmu.Perms
+	version  uint64 // SGXv2 software-path anti-replay counter
+}
+
+// Runtime is the Autarky self-paging runtime: the sgx.Runtime installed at
+// the enclave entry point.
+type Runtime struct {
+	CPU    *sgx.CPU
+	Driver Driver
+	Clock  *sim.Clock
+	Costs  *sim.Costs
+
+	// Policy decides what a legitimate fault fetches and what gets evicted
+	// under memory pressure.
+	Policy Policy
+
+	// Mech selects SGXv1 (driver EWB/ELDU) or SGXv2 (software) paging.
+	Mech Mech
+
+	// App is the application entry point, run on a CSSA-0 entry.
+	App func(ctx *Context)
+
+	// HandlerCycles is the flat cost of one trusted fault-handler
+	// invocation (SSA decode, bookkeeping) — the "Autarky PF handler
+	// overhead" component of Fig. 5.
+	HandlerCycles uint64
+
+	Stats RuntimeStats
+
+	enclave *sgx.Enclave
+	pages   map[uint64]*pageInfo
+	// fifo orders resident non-pinned enclave-managed pages for the default
+	// eviction policies (A/D bits are architecturally unusable, §5.1.4).
+	fifo []uint64
+
+	progress uint64 // application-reported forward progress (§5.2.4)
+
+	appErr error
+}
+
+// NewRuntime builds a runtime. Attach must be called (by the loader) before
+// the enclave runs.
+func NewRuntime(cpu *sgx.CPU, driver Driver, clock *sim.Clock, costs *sim.Costs) *Runtime {
+	return &Runtime{
+		CPU:           cpu,
+		Driver:        driver,
+		Clock:         clock,
+		Costs:         costs,
+		Policy:        NewPinAllPolicy(),
+		HandlerCycles: 1200,
+		pages:         make(map[uint64]*pageInfo),
+	}
+}
+
+// Attach binds the runtime to its enclave after loading.
+func (r *Runtime) Attach(e *sgx.Enclave) { r.enclave = e }
+
+// Enclave returns the attached enclave.
+func (r *Runtime) Enclave() *sgx.Enclave { return r.enclave }
+
+// Progress returns the application's forward-progress counter.
+func (r *Runtime) Progress() uint64 { return r.progress }
+
+// AppError returns the error the application finished with, if any.
+func (r *Runtime) AppError() error { return r.appErr }
+
+// ManagePages transfers the pages to enclave management
+// (ay_set_enclave_managed) and starts tracking them. Pinned pages are never
+// chosen as eviction victims; the fault handler treats any fault on a
+// resident page — pinned or not — as an attack.
+func (r *Runtime) ManagePages(pages []mmu.VAddr, perms mmu.Perms, pinned bool) error {
+	status, err := r.Driver.SetEnclaveManaged(r.enclave, pages)
+	if err != nil {
+		return err
+	}
+	if len(status) != len(pages) {
+		return fmt.Errorf("core: driver returned %d statuses for %d pages", len(status), len(pages))
+	}
+	for _, st := range status {
+		vpn := st.VA.VPN()
+		pi := r.pages[vpn]
+		if pi == nil {
+			pi = &pageInfo{va: st.VA.PageBase()}
+			r.pages[vpn] = pi
+		}
+		pi.resident = st.Resident
+		pi.pinned = pinned
+		pi.perms = perms
+		if st.Resident && !pinned {
+			r.fifo = append(r.fifo, vpn)
+		}
+	}
+	return nil
+}
+
+// RefreshResidence re-queries the driver for the current residence of the
+// given managed pages and updates tracking (used after load-time fetches,
+// and after the OS swaps a suspended enclave back in).
+func (r *Runtime) RefreshResidence(pages []mmu.VAddr) error {
+	status, err := r.Driver.SetEnclaveManaged(r.enclave, pages)
+	if err != nil {
+		return err
+	}
+	for _, st := range status {
+		pi := r.pages[st.VA.VPN()]
+		if pi == nil {
+			return fmt.Errorf("core: RefreshResidence of unmanaged page %s", st.VA)
+		}
+		wasResident := pi.resident
+		pi.resident = st.Resident
+		if st.Resident && !wasResident && !pi.pinned {
+			r.fifo = append(r.fifo, st.VA.VPN())
+		}
+	}
+	return nil
+}
+
+// EnsurePinnedResident fetches every pinned enclave-managed page that is
+// not currently resident (pages spilled during loading). Pinned pages must
+// be resident before the enclave runs: a fault on one is treated as an
+// attack.
+func (r *Runtime) EnsurePinnedResident() error {
+	var want []mmu.VAddr
+	for _, pi := range r.pages {
+		if pi.pinned && !pi.resident {
+			want = append(want, pi.va)
+		}
+	}
+	return r.EnsureResident(want)
+}
+
+// EnsureResident fetches any non-resident pages of the given managed set,
+// evicting victims per policy under quota pressure. It always uses the
+// SGXv1 driver path, the only one usable outside enclave mode (the loader
+// calls it before first entry).
+func (r *Runtime) EnsureResident(pages []mmu.VAddr) error {
+	var want []mmu.VAddr
+	for _, va := range pages {
+		if resident, managed := r.PageResident(va); managed && !resident {
+			want = append(want, va.PageBase())
+		}
+	}
+	if len(want) == 0 {
+		return nil
+	}
+	savedMech := r.Mech
+	r.Mech = MechSGX1
+	defer func() { r.Mech = savedMech }()
+	return r.fetchPages(want)
+}
+
+// ReleasePages returns pages to OS management (ay_set_os_managed) and stops
+// tracking them.
+func (r *Runtime) ReleasePages(pages []mmu.VAddr) error {
+	if err := r.Driver.SetOSManaged(r.enclave, pages); err != nil {
+		return err
+	}
+	for _, va := range pages {
+		delete(r.pages, va.VPN())
+	}
+	return nil
+}
+
+// PageResident reports the runtime's belief about a page's residence and
+// whether the page is enclave-managed at all.
+func (r *Runtime) PageResident(va mmu.VAddr) (resident, managed bool) {
+	pi, ok := r.pages[va.VPN()]
+	if !ok {
+		return false, false
+	}
+	return pi.resident, true
+}
+
+// ResidentManagedPages counts resident enclave-managed pages.
+func (r *Runtime) ResidentManagedPages() int {
+	n := 0
+	for _, pi := range r.pages {
+		if pi.resident {
+			n++
+		}
+	}
+	return n
+}
+
+// OnEntry implements sgx.Runtime: the attested entry-point dispatcher.
+func (r *Runtime) OnEntry(tcs *sgx.TCS) {
+	if tcs.CSSA() == 0 {
+		// Fresh call: run the application.
+		if r.App != nil {
+			ctx := &Context{r: r}
+			r.App(ctx)
+		}
+		return
+	}
+	// Exception entry: an SSA frame holds the (unmasked) fault details.
+	frame, ok := tcs.TopSSA()
+	if !ok || !frame.Exit.Valid {
+		// Spurious re-entry (e.g. after a timer AEX): nothing to handle.
+		return
+	}
+	r.handleFault(frame.Exit.Fault)
+	// Resume: with the proposed optimizations the handler restores the
+	// faulting context itself; otherwise fall back to EEXIT + ERESUME.
+	if r.enclave.Attrs.Has(sgx.AttrInEnclaveResume) || r.enclave.Attrs.Has(sgx.AttrElideAEX) {
+		r.CPU.ResumeInEnclave()
+	}
+}
+
+// handleFault is the trusted page-fault handler (paper Fig. 2): it
+// classifies the fault using the runtime's own residence tracking and
+// either terminates (attack), self-pages (legitimate enclave-managed
+// fault), or forwards to the OS (OS-managed page).
+func (r *Runtime) handleFault(f mmu.Fault) {
+	r.Clock.Advance(r.HandlerCycles)
+	r.Stats.HandlerInvocations++
+
+	va := f.Addr.PageBase()
+	if !r.enclave.Contains(va) {
+		// Faults outside ELRANGE never vector here (they do not set the
+		// pending flag); seeing one means the OS is playing games.
+		r.detectAttack(fmt.Sprintf("handler invoked for non-enclave address %s", va))
+		return
+	}
+
+	pi := r.pages[va.VPN()]
+	if pi == nil {
+		// OS-managed page: forward, subject to policy (rate limiting).
+		r.Stats.ForwardedFaults++
+		if err := r.Policy.OnOSFault(r, va); err != nil {
+			r.CPU.Terminate(sgx.TerminateRateLimit, err.Error())
+		}
+		if err := r.Driver.FetchPages(r.enclave, []mmu.VAddr{va}); err != nil {
+			r.CPU.Terminate(sgx.TerminatePolicy, "OS failed to service forwarded fault: "+err.Error())
+		}
+		return
+	}
+
+	if pi.resident {
+		// The page should be mapped and accessible: the OS unmapped it,
+		// remapped it wrong, or cleared its A/D bits. This is the
+		// controlled channel — kill the enclave (paper §5.3).
+		r.detectAttack(fmt.Sprintf("fault on resident enclave-managed page %s", va))
+		return
+	}
+
+	// Legitimate self-paging fault.
+	r.Stats.SelfFaults++
+	fetch, err := r.Policy.PlanFetch(r, va)
+	if err != nil {
+		if errors.Is(err, ErrRateLimited) {
+			r.CPU.Terminate(sgx.TerminateRateLimit, err.Error())
+		}
+		r.detectAttack(err.Error())
+		return
+	}
+	if err := r.fetchPages(fetch); err != nil {
+		r.CPU.Terminate(sgx.TerminatePolicy, "self-paging fetch failed: "+err.Error())
+	}
+}
+
+func (r *Runtime) detectAttack(detail string) {
+	r.Stats.AttacksDetected++
+	r.CPU.Terminate(sgx.TerminateAttackDetected, detail)
+}
+
+// fetchPages brings a set of enclave-managed pages in, evicting per policy
+// when the quota is tight. Pages already resident are skipped (closure
+// fetches routinely include them).
+func (r *Runtime) fetchPages(pages []mmu.VAddr) error {
+	want := make([]mmu.VAddr, 0, len(pages))
+	for _, va := range pages {
+		pi := r.pages[va.VPN()]
+		if pi == nil {
+			return fmt.Errorf("core: fetch plan includes unmanaged page %s", va)
+		}
+		if !pi.resident {
+			want = append(want, va.PageBase())
+		}
+	}
+	if len(want) == 0 {
+		return nil
+	}
+
+	// Make room: the kernel evicts OS-managed pages on its own; when it
+	// reports pressure, evict our own per policy.
+	for {
+		limit, resident := r.Driver.Quota(r.enclave)
+		if limit <= 0 || resident+len(want) <= limit {
+			break
+		}
+		need := resident + len(want) - limit
+		victims := r.Policy.PickVictims(r, need)
+		if len(victims) == 0 {
+			break // let the kernel try; it may still evict OS-managed pages
+		}
+		if err := r.evictPages(victims); err != nil {
+			return err
+		}
+	}
+
+	var err error
+	switch r.Mech {
+	case MechSGX1:
+		err = r.Driver.FetchPages(r.enclave, want)
+		if errors.Is(err, ErrEPCPressure) {
+			victims := r.Policy.PickVictims(r, len(want))
+			if len(victims) == 0 {
+				return err
+			}
+			if evErr := r.evictPages(victims); evErr != nil {
+				return evErr
+			}
+			err = r.Driver.FetchPages(r.enclave, want)
+		}
+	case MechSGX2:
+		err = r.fetchSGX2(want)
+	}
+	if err != nil {
+		return err
+	}
+	for _, va := range want {
+		pi := r.pages[va.VPN()]
+		pi.resident = true
+		if !pi.pinned {
+			r.fifo = append(r.fifo, va.VPN())
+		}
+		r.Stats.FetchedPages++
+	}
+	r.Policy.OnFetched(r, want)
+	return nil
+}
+
+// evictPages writes a set of enclave-managed pages out through the selected
+// mechanism and updates tracking.
+func (r *Runtime) evictPages(pages []mmu.VAddr) error {
+	out := make([]mmu.VAddr, 0, len(pages))
+	for _, va := range pages {
+		pi := r.pages[va.VPN()]
+		if pi == nil || !pi.resident || pi.pinned {
+			continue
+		}
+		out = append(out, va.PageBase())
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	var err error
+	switch r.Mech {
+	case MechSGX1:
+		err = r.Driver.EvictPages(r.enclave, out)
+	case MechSGX2:
+		err = r.evictSGX2(out)
+	}
+	if err != nil {
+		return err
+	}
+	for _, va := range out {
+		r.pages[va.VPN()].resident = false
+		r.Stats.EvictedPages++
+	}
+	r.Policy.OnEvicted(r, out)
+	return nil
+}
+
+// nextFIFOVictims returns up to n resident, non-pinned pages in FIFO order,
+// compacting stale queue entries as it goes. It is the shared victim source
+// for the demand and rate-limited policies.
+func (r *Runtime) nextFIFOVictims(n int) []mmu.VAddr {
+	var out []mmu.VAddr
+	keep := r.fifo[:0]
+	for i, vpn := range r.fifo {
+		pi := r.pages[vpn]
+		if pi == nil || !pi.resident || pi.pinned {
+			continue // stale entry
+		}
+		if len(out) < n {
+			out = append(out, pi.va)
+		} else {
+			keep = append(keep, r.fifo[i])
+		}
+	}
+	r.fifo = keep
+	return out
+}

@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"fmt"
+
+	"autarky/internal/core"
+	"autarky/internal/hostos"
+	"autarky/internal/libos"
+	"autarky/internal/mmu"
+	"autarky/internal/pagestore"
+	"autarky/internal/sgx"
+	"autarky/internal/sim"
+	"autarky/internal/workloads"
+)
+
+// bareMachine wires one simulated host (the same wiring as the public
+// facade, kept local so internal packages never import the module root).
+type bareMachine struct {
+	clock  *sim.Clock
+	costs  *sim.Costs
+	kernel *hostos.Kernel
+}
+
+// EPCFrames is the physical EPC used by experiment machines; quotas (not
+// physical capacity) are the paging pressure knob.
+const EPCFrames = 1 << 16
+
+func newBareMachine(costs sim.Costs) *bareMachine {
+	clock := sim.NewClock()
+	c := costs
+	pt := mmu.NewPageTable(clock, &c)
+	tlb := mmu.NewTLB(64, 4, clock, &c)
+	epc := sgx.NewEPC(mmu.PFN(0x100000), EPCFrames)
+	reg := sgx.NewRegularMemory(mmu.PFN(1 << 40))
+	cpu := sgx.NewCPU(clock, &c, tlb, pt, epc, reg, []byte("autarky-experiments-root"))
+	store := pagestore.NewStore()
+	kernel := hostos.NewKernel(cpu, pt, store, clock, &c)
+	return &bareMachine{clock: clock, costs: &c, kernel: kernel}
+}
+
+// RunConfig describes one enclave configuration under test.
+type RunConfig struct {
+	SelfPaging      bool
+	InEnclaveResume bool
+	ElideAEX        bool
+	Mech            core.Mech
+	Policy          libos.PolicyKind
+	QuotaPages      int
+	RateBurst       uint64
+	RatePerProgress float64
+	EvictBatch      int
+	DataCluster     int
+	CodeClusters    bool
+	PinData         bool
+
+	// ClassicOCalls replaces exitless host calls with classic OCALL round
+	// trips (§6 ablation).
+	ClassicOCalls bool
+	// ADCheckCycles overrides the Autarky A/D-check cost (E1 sensitivity).
+	ADCheckCycles *uint64
+	// HeapPages overrides the image heap size.
+	HeapPages int
+	// Libraries overrides the image's libraries.
+	Libraries []libos.Library
+}
+
+func (rc RunConfig) label() string {
+	if !rc.SelfPaging {
+		return "vanilla"
+	}
+	s := "autarky/" + rc.Policy.String()
+	if rc.ElideAEX {
+		s += "+noAEX"
+	} else if rc.InEnclaveResume {
+		s += "+noUpcall"
+	}
+	return s
+}
+
+// RunResult carries the measurements of one run.
+type RunResult struct {
+	Label     string
+	Cycles    uint64 // application-phase cycles (excludes loading)
+	Err       error
+	Faults    uint64 // enclave page faults seen by hardware
+	SelfPage  uint64 // runtime self-paging faults
+	Forwarded uint64
+	Fetched   uint64
+	Evicted   uint64
+	OSPageIns uint64
+	AEXs      uint64
+	Enters    uint64
+	Resumes   uint64
+	ADChecks  uint64
+	Detected  uint64
+}
+
+// BuildProcess creates a fresh machine and loads an image under rc.
+// The returned cleanup-free process is ready to Run.
+func BuildProcess(img libos.AppImage, rc RunConfig) (*libos.Process, *sim.Clock, error) {
+	costs := sim.DefaultCosts()
+	if rc.ADCheckCycles != nil {
+		costs.ADCheck = *rc.ADCheckCycles
+	}
+	m := newBareMachine(costs)
+	if rc.HeapPages > 0 {
+		img.HeapPages = rc.HeapPages
+	}
+	if rc.Libraries != nil {
+		img.Libraries = rc.Libraries
+	}
+	cfg := libos.Config{
+		SelfPaging:           rc.SelfPaging,
+		InEnclaveResume:      rc.InEnclaveResume,
+		ElideAEX:             rc.ElideAEX,
+		Mech:                 rc.Mech,
+		QuotaPages:           rc.QuotaPages,
+		Policy:               rc.Policy,
+		RateLimitPerProgress: rc.RatePerProgress,
+		RateLimitBurst:       rc.RateBurst,
+		DataClusterPages:     rc.DataCluster,
+		CodeClusters:         rc.CodeClusters,
+		PinData:              rc.PinData,
+	}
+	m.kernel.ClassicOCalls = rc.ClassicOCalls
+	p, err := libos.Load(m.kernel, m.clock, m.costs, img, cfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiments: load %s (%s): %w", img.Name, rc.label(), err)
+	}
+	if rc.EvictBatch > 1 {
+		if rl, ok := p.Runtime.Policy.(*core.RateLimitPolicy); ok {
+			rl.EvictBatch = rc.EvictBatch
+		}
+	}
+	return p, m.clock, nil
+}
+
+// RunApp loads img under rc and executes app, measuring application-phase
+// cycles only.
+func RunApp(img libos.AppImage, rc RunConfig, app func(p *libos.Process, ctx *core.Context)) RunResult {
+	p, clock, err := BuildProcess(img, rc)
+	if err != nil {
+		return RunResult{Label: rc.label(), Err: err}
+	}
+	var start, end uint64
+	runErr := p.Run(func(ctx *core.Context) {
+		start = clock.Cycles()
+		app(p, ctx)
+		end = clock.Cycles()
+	})
+	res := RunResult{
+		Label:     rc.label(),
+		Err:       runErr,
+		Faults:    p.Kernel.CPU.Stats.EnclaveFaults,
+		SelfPage:  p.Runtime.Stats.SelfFaults,
+		Forwarded: p.Runtime.Stats.ForwardedFaults,
+		Fetched:   p.Runtime.Stats.FetchedPages,
+		Evicted:   p.Runtime.Stats.EvictedPages,
+		OSPageIns: p.Kernel.Stats.PageIns,
+		AEXs:      p.Kernel.CPU.Stats.AEXs,
+		Enters:    p.Kernel.CPU.Stats.Enters,
+		Resumes:   p.Kernel.CPU.Stats.Resumes,
+		ADChecks:  p.Kernel.CPU.Stats.ADChecks,
+		Detected:  p.Runtime.Stats.AttacksDetected,
+	}
+	if runErr == nil && end >= start {
+		res.Cycles = end - start
+	}
+	return res
+}
+
+// RunKernel executes one workload kernel (nbench / Phoenix / PARSEC) in its
+// own enclave under rc and returns the measurement.
+func RunKernel(k workloads.Kernel, rc RunConfig, scale int, seed uint64) RunResult {
+	heap := k.ArenaPages + 8
+	if rc.HeapPages > 0 {
+		heap = rc.HeapPages
+	}
+	img := libos.AppImage{
+		Name:      k.Name,
+		Libraries: []libos.Library{{Name: "lib" + k.Name + ".so", Pages: 4}},
+		HeapPages: heap,
+	}
+	rc2 := rc
+	rc2.HeapPages = heap
+	return RunApp(img, rc2, func(p *libos.Process, ctx *core.Context) {
+		pages, err := p.Alloc.AllocPages(k.ArenaPages)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: arena for %s: %v", k.Name, err))
+		}
+		env := &workloads.KernelEnv{
+			Ctx:   ctx,
+			Pages: pages,
+			Clock: p.Kernel.Clock,
+			Rng:   sim.NewRand(seed),
+			Scale: scale,
+			Code:  p.Code[img.Libraries[0].Name].PageVAs(),
+			Stack: p.Stack.PageVAs()[:2],
+		}
+		k.Run(env)
+	})
+}
+
+// touchAll writes every page once (warm-up / population helper).
+func touchAll(ctx *core.Context, pages []mmu.VAddr) {
+	for _, va := range pages {
+		ctx.Store(va)
+	}
+}

@@ -1,0 +1,110 @@
+// Package experiments contains the drivers that regenerate every table and
+// figure of the paper's evaluation (§7), shared by cmd/autarky-bench and
+// the repository's benchmarks. Each experiment returns structured rows so
+// tests can assert the paper's qualitative claims (who wins, by what
+// factor, where crossovers fall) against the model's output.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// ClockHz converts logical cycles to "seconds" for rate-style metrics
+// (requests/s, faults/s). The paper's i7-1065G7 runs around 3 GHz under
+// load; the exact constant only scales absolute rates, never ratios.
+const ClockHz = 3.0e9
+
+// Seconds converts cycles to modelled seconds.
+func Seconds(cycles uint64) float64 { return float64(cycles) / ClockHz }
+
+// PerSecond converts an event count over a cycle span to a rate.
+func PerSecond(events, cycles uint64) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	return float64(events) / Seconds(cycles)
+}
+
+// Geomean returns the geometric mean of xs.
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Table is a printable result table.
+type Table struct {
+	Title  string
+	Note   string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "\n== %s ==\n", t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(w, "%s\n", t.Note)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// F formats a float compactly.
+func F(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// Pct formats a ratio as a signed percentage delta ("-18%" for 0.82).
+func Pct(ratio float64) string {
+	return fmt.Sprintf("%+.1f%%", (ratio-1)*100)
+}

@@ -1,0 +1,64 @@
+package hostos
+
+import "autarky/internal/mmu"
+
+// This file exposes the page-table manipulation primitives an OS-level
+// adversary uses to mount controlled-channel attacks (paper §2.2). They are
+// ordinary operations a kernel is architecturally permitted to perform;
+// nothing here bypasses the SGX model. Each includes the TLB shootdown the
+// attack needs to take effect (a cached translation would bypass the trap).
+
+// UnmapPage clears the present bit of an enclave PTE without telling anyone
+// — the primitive of the original page-fault-injection attack (Xu et al.).
+func (k *Kernel) UnmapPage(va mmu.VAddr) bool {
+	ok := k.PT.SetPresent(va, false)
+	if ok {
+		k.CPU.TLB.Shootdown(va)
+	}
+	return ok
+}
+
+// RestorePage silently sets the present bit back after a captured fault.
+func (k *Kernel) RestorePage(va mmu.VAddr) bool {
+	return k.PT.SetPresent(va, true)
+}
+
+// ReducePerms rewrites the PTE permissions (e.g. stripping execute to trap
+// instruction fetches — the Van Bulck et al. variant).
+func (k *Kernel) ReducePerms(va mmu.VAddr, perms mmu.Perms) bool {
+	ok := k.PT.SetPerms(va, perms)
+	if ok {
+		k.CPU.TLB.Shootdown(va)
+	}
+	return ok
+}
+
+// ClearAccessedBit clears the PTE accessed flag so a subsequent scan
+// reveals whether the enclave touched the page — the "silent" attack that
+// needs no faults (Wang et al.).
+func (k *Kernel) ClearAccessedBit(va mmu.VAddr) bool {
+	ok := k.PT.ClearAccessed(va)
+	if ok {
+		k.CPU.TLB.Shootdown(va)
+	}
+	return ok
+}
+
+// ClearDirtyBit clears the PTE dirty flag.
+func (k *Kernel) ClearDirtyBit(va mmu.VAddr) bool {
+	ok := k.PT.ClearDirty(va)
+	if ok {
+		k.CPU.TLB.Shootdown(va)
+	}
+	return ok
+}
+
+// ReadADBits returns the PTE accessed/dirty flags (the scan side of the
+// A/D-bit attack).
+func (k *Kernel) ReadADBits(va mmu.VAddr) (accessed, dirty, ok bool) {
+	pte, exists := k.PT.Get(va)
+	if !exists {
+		return false, false, false
+	}
+	return pte.Accessed, pte.Dirty, true
+}

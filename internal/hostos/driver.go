@@ -1,0 +1,303 @@
+package hostos
+
+import (
+	"fmt"
+
+	"autarky/internal/core"
+	"autarky/internal/mmu"
+	"autarky/internal/pagestore"
+	"autarky/internal/sgx"
+)
+
+// This file implements the Autarky driver: the system-call surface the
+// trusted runtime uses for self-paging (paper §5.2.1), plus the SGXv2
+// service calls of the software paging path (§6). Every call is reached
+// through an exitless host call, so each public method charges
+// Costs.ExitlessCall and runs the privileged work on a host hart
+// (CPU.AsHost).
+
+// chargeCall charges one runtime->driver call: an exitless host call by
+// default (paper §6), or a classic OCALL round trip (EEXIT + re-EENTER with
+// their TLB flushes) when ClassicOCalls is set — the ablation quantifying
+// why the prototype adopted exitless calls.
+func (k *Kernel) chargeCall() {
+	if k.ClassicOCalls {
+		k.Clock.Advance(k.Costs.EEXIT + k.Costs.EENTER + 2*k.Costs.TLBFlushLocal + k.Costs.SyscallRound)
+		return
+	}
+	k.Clock.Advance(k.Costs.ExitlessCall)
+}
+
+func (k *Kernel) page(p *Proc, va mmu.VAddr) (*pageState, error) {
+	ps, ok := p.pages[va.VPN()]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownPage, va)
+	}
+	return ps, nil
+}
+
+// SetOSManaged yields management of the pages to the OS: they become
+// evictable at the kernel's discretion (ay_set_os_managed).
+func (k *Kernel) SetOSManaged(e *sgx.Enclave, pages []mmu.VAddr) error {
+	k.chargeCall()
+	p := k.procs[e.ID]
+	return k.CPU.AsHost(func() error {
+		for _, va := range pages {
+			ps, err := k.page(p, va)
+			if err != nil {
+				return err
+			}
+			ps.enclaveManaged = false
+		}
+		return nil
+	})
+}
+
+// SetEnclaveManaged claims the pages for the enclave: resident ones become
+// pinned, and the current residence status of each is returned
+// (ay_set_enclave_managed).
+func (k *Kernel) SetEnclaveManaged(e *sgx.Enclave, pages []mmu.VAddr) ([]core.PageStatus, error) {
+	k.chargeCall()
+	p := k.procs[e.ID]
+	out := make([]core.PageStatus, 0, len(pages))
+	err := k.CPU.AsHost(func() error {
+		for _, va := range pages {
+			ps, err := k.page(p, va)
+			if err != nil {
+				return err
+			}
+			ps.enclaveManaged = true
+			out = append(out, core.PageStatus{VA: va, Resident: ps.resident})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Quota reports the enclave's resident-page limit and current residency.
+func (k *Kernel) Quota(e *sgx.Enclave) (limit, resident int) {
+	p := k.procs[e.ID]
+	return p.Quota, p.resident
+}
+
+// FetchPages securely brings the given pages into EPC from the backing
+// store using the SGXv1 path (ay_fetch_pages). Batched: one exitless call
+// for the whole array. Already-resident pages are skipped. If the quota
+// cannot be met by evicting OS-managed pages, ErrEPCPressure is returned
+// and the runtime must ay_evict_pages first.
+func (k *Kernel) FetchPages(e *sgx.Enclave, pages []mmu.VAddr) error {
+	k.chargeCall()
+	p := k.procs[e.ID]
+	return k.CPU.AsHost(func() error {
+		for _, va := range pages {
+			ps, err := k.page(p, va)
+			if err != nil {
+				return err
+			}
+			if ps.resident {
+				// Resident but faulting: the PTE was broken (legitimately
+				// by a stale shootdown, or by an attacker) — restore it.
+				k.mapPage(p, ps)
+				k.CPU.TLB.Invalidate(ps.va)
+				continue
+			}
+			if err := k.pageIn(p, ps); err != nil {
+				return err
+			}
+			k.Stats.DriverFetches++
+		}
+		return nil
+	})
+}
+
+// EvictPages securely writes the given pages out to the backing store using
+// the SGXv1 path (ay_evict_pages). Batched like FetchPages.
+func (k *Kernel) EvictPages(e *sgx.Enclave, pages []mmu.VAddr) error {
+	k.chargeCall()
+	p := k.procs[e.ID]
+	return k.CPU.AsHost(func() error {
+		// Block and unmap all pages, then one ETRACK+shootdown round, then
+		// write them back — the batched dance the Intel driver uses.
+		var victims []*pageState
+		for _, va := range pages {
+			ps, err := k.page(p, va)
+			if err != nil {
+				return err
+			}
+			if !ps.resident {
+				continue
+			}
+			if err := k.CPU.EBLOCK(p.E, ps.va, ps.pfn); err != nil {
+				return err
+			}
+			k.PT.Unmap(ps.va)
+			victims = append(victims, ps)
+		}
+		if len(victims) == 0 {
+			return nil
+		}
+		if err := k.CPU.ETRACK(p.E); err != nil {
+			return err
+		}
+		for _, ps := range victims {
+			k.CPU.TLB.Shootdown(ps.va)
+		}
+		k.CPU.CompleteShootdown(p.E)
+		for _, ps := range victims {
+			if err := k.CPU.EWB(p.E, ps.va, ps.pfn, k.Store); err != nil {
+				return err
+			}
+			ps.resident = false
+			ps.everEvicted = true
+			ps.pfn = mmu.NoPFN
+			p.resident--
+			k.Stats.DriverEvicts++
+		}
+		return nil
+	})
+}
+
+// --- SGXv2 software-paging services -------------------------------------
+
+// AugPages EAUGs fresh pending pages at the given addresses and maps them
+// with the requested PTE permissions (A/D set). The runtime must
+// EACCEPTCOPY each before use. Quota applies.
+func (k *Kernel) AugPages(e *sgx.Enclave, pages []mmu.VAddr, perms []mmu.Perms) ([]mmu.PFN, error) {
+	k.chargeCall()
+	p := k.procs[e.ID]
+	pfns := make([]mmu.PFN, 0, len(pages))
+	err := k.CPU.AsHost(func() error {
+		for i, va := range pages {
+			if err := k.ensureQuota(p, 1); err != nil {
+				return err
+			}
+			pfn, err := k.CPU.EAUG(e, va)
+			if err != nil {
+				return err
+			}
+			pr := mmu.PermRW
+			if i < len(perms) {
+				pr = perms[i]
+			}
+			ps, ok := p.pages[va.VPN()]
+			if !ok {
+				ps = &pageState{va: va}
+				p.pages[va.VPN()] = ps
+			}
+			ps.perms = pr
+			ps.pfn = pfn
+			ps.resident = true
+			ps.enclaveManaged = true
+			p.resident++
+			p.order = append(p.order, va.VPN())
+			k.PT.MapAD(va, pfn, pr, true, true, true)
+			pfns = append(pfns, pfn)
+			k.Stats.DriverFetches++
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pfns, nil
+}
+
+// GetBlob returns the sealed blob for a page from untrusted memory
+// (the SGXv2 fetch path: the runtime decrypts and EACCEPTCOPYs it).
+func (k *Kernel) GetBlob(e *sgx.Enclave, va mmu.VAddr) (pagestore.Blob, error) {
+	k.chargeCall()
+	return k.Store.Get(e.ID, va.PageBase())
+}
+
+// PutBlob stores a runtime-sealed blob in untrusted memory (the SGXv2
+// eviction path).
+func (k *Kernel) PutBlob(e *sgx.Enclave, va mmu.VAddr, b pagestore.Blob) error {
+	k.chargeCall()
+	k.Store.Put(e.ID, va.PageBase(), b)
+	return nil
+}
+
+// RestrictPerms EMODPRs the page to the given permissions (with the TLB
+// shootdown the architecture requires) and returns its frame so the runtime
+// can EACCEPT. First step of SGXv2 software eviction.
+func (k *Kernel) RestrictPerms(e *sgx.Enclave, va mmu.VAddr, perms mmu.Perms) (mmu.PFN, error) {
+	k.chargeCall()
+	p := k.procs[e.ID]
+	var pfn mmu.PFN
+	err := k.CPU.AsHost(func() error {
+		ps, err := k.page(p, va)
+		if err != nil {
+			return err
+		}
+		if !ps.resident {
+			return fmt.Errorf("hostos: RestrictPerms on non-resident %s", va)
+		}
+		if err := k.CPU.EMODPR(e, ps.va, ps.pfn, perms); err != nil {
+			return err
+		}
+		k.PT.SetPerms(ps.va, perms)
+		k.CPU.TLB.Shootdown(ps.va)
+		pfn = ps.pfn
+		return nil
+	})
+	if err != nil {
+		return mmu.NoPFN, err
+	}
+	return pfn, nil
+}
+
+// TrimPage EMODTs the page to TRIM and returns its frame so the runtime can
+// EACCEPT; the runtime then calls RemovePage.
+func (k *Kernel) TrimPage(e *sgx.Enclave, va mmu.VAddr) (mmu.PFN, error) {
+	k.chargeCall()
+	p := k.procs[e.ID]
+	var pfn mmu.PFN
+	err := k.CPU.AsHost(func() error {
+		ps, err := k.page(p, va)
+		if err != nil {
+			return err
+		}
+		if !ps.resident {
+			return fmt.Errorf("hostos: TrimPage on non-resident %s", va)
+		}
+		if err := k.CPU.EMODT(e, ps.va, ps.pfn, sgx.PTTrim); err != nil {
+			return err
+		}
+		pfn = ps.pfn
+		return nil
+	})
+	if err != nil {
+		return mmu.NoPFN, err
+	}
+	return pfn, nil
+}
+
+// RemovePage EREMOVEs a trimmed-and-accepted page, unmaps it and frees the
+// quota slot. Final step of SGXv2 software eviction.
+func (k *Kernel) RemovePage(e *sgx.Enclave, va mmu.VAddr) error {
+	k.chargeCall()
+	p := k.procs[e.ID]
+	return k.CPU.AsHost(func() error {
+		ps, err := k.page(p, va)
+		if err != nil {
+			return err
+		}
+		if !ps.resident {
+			return fmt.Errorf("hostos: RemovePage on non-resident %s", va)
+		}
+		if err := k.CPU.EREMOVE(e, ps.va, ps.pfn); err != nil {
+			return err
+		}
+		k.PT.Unmap(ps.va)
+		k.CPU.TLB.Shootdown(ps.va)
+		ps.resident = false
+		ps.everEvicted = true
+		ps.pfn = mmu.NoPFN
+		p.resident--
+		k.Stats.DriverEvicts++
+		return nil
+	})
+}

@@ -1,0 +1,550 @@
+// Package hostos models the untrusted operating system of the Autarky
+// threat model: it owns the page table, services page faults, runs the
+// demand pager, implements the Autarky driver interface
+// (ay_set_os_managed / ay_set_enclave_managed / ay_fetch_pages /
+// ay_evict_pages, paper §5.2.1) — and, optionally, hosts an adversary that
+// mounts controlled-channel attacks through the very same interfaces.
+//
+// Nothing in this package is trusted. It manipulates enclave state only
+// through the SGX instruction model, exactly as a real kernel would.
+package hostos
+
+import (
+	"errors"
+	"fmt"
+
+	"autarky/internal/core"
+	"autarky/internal/mmu"
+	"autarky/internal/pagestore"
+	"autarky/internal/sgx"
+	"autarky/internal/sim"
+	"autarky/internal/trace"
+)
+
+// PagingMech selects which SGX mechanism services enclave self-paging
+// (paper §6 supports both).
+type PagingMech int
+
+// Paging mechanisms.
+const (
+	// MechSGX1 uses the privileged EWB/ELDU instructions in the driver.
+	MechSGX1 PagingMech = iota
+	// MechSGX2 uses the dynamic memory-management instructions, with
+	// encryption performed by the enclave runtime in software.
+	MechSGX2
+)
+
+// String names the mechanism.
+func (m PagingMech) String() string {
+	if m == MechSGX1 {
+		return "SGX1"
+	}
+	return "SGX2"
+}
+
+// ErrEPCPressure aliases the sentinel the driver contract defines: a fetch
+// could not be satisfied within the enclave's EPC quota, so the enclave
+// must evict its own pages first.
+var ErrEPCPressure = core.ErrEPCPressure
+
+// Check at compile time that the kernel satisfies the driver interface the
+// trusted runtime is written against.
+var _ core.Driver = (*Kernel)(nil)
+
+// Errors returned by kernel services.
+var (
+	// ErrPinned is returned when the OS pager is asked to evict an
+	// enclave-managed (pinned) page — the Autarky driver refuses
+	// (paper §5.2.1: "each resident enclave-managed page is effectively
+	// pinned in EPC whenever the enclave is runnable").
+	ErrPinned = errors.New("hostos: page is enclave-managed (pinned)")
+	// ErrUnknownPage is returned for pages never added to the enclave.
+	ErrUnknownPage = errors.New("hostos: page not part of enclave")
+)
+
+// Adversary hooks into the kernel's fault and timer paths. A benign kernel
+// uses NopAdversary.
+type Adversary interface {
+	// OnEnclaveFault observes a (possibly masked) enclave fault. Returning
+	// true means the adversary repaired the page tables itself and the
+	// kernel must skip its own paging service before resuming.
+	OnEnclaveFault(k *Kernel, p *Proc, f *mmu.Fault) bool
+	// OnTimer runs on each preemption-timer AEX, before ERESUME.
+	OnTimer(k *Kernel, p *Proc)
+}
+
+// NopAdversary is the benign (non-attacking) OS behaviour.
+type NopAdversary struct{}
+
+// OnEnclaveFault reports the fault unhandled.
+func (NopAdversary) OnEnclaveFault(*Kernel, *Proc, *mmu.Fault) bool { return false }
+
+// OnTimer does nothing.
+func (NopAdversary) OnTimer(*Kernel, *Proc) {}
+
+// KernelStats counts kernel-level paging events.
+type KernelStats struct {
+	EnclaveFaults uint64
+	HostFaults    uint64
+	TimerTicks    uint64
+	PageIns       uint64 // OS-serviced ELDUs
+	PageOuts      uint64 // OS-initiated EWBs
+	DriverFetches uint64 // pages fetched through ay_fetch_pages
+	DriverEvicts  uint64 // pages evicted through ay_evict_pages
+}
+
+// pageState is the kernel's bookkeeping for one enclave page.
+type pageState struct {
+	va             mmu.VAddr
+	pfn            mmu.PFN // valid only while resident
+	perms          mmu.Perms
+	resident       bool
+	enclaveManaged bool
+	everEvicted    bool
+}
+
+// Proc is the kernel's per-enclave process state.
+type Proc struct {
+	E    *sgx.Enclave
+	TCS  *sgx.TCS
+	Mech PagingMech
+	// Quota is the maximum number of resident EPC frames the kernel allows
+	// this enclave (0 = unlimited). It is the experiments' "EPC size" knob.
+	Quota int
+
+	pages    map[uint64]*pageState
+	resident int
+	// order is the residency queue for victim selection: CLOCK for legacy
+	// enclaves, FIFO for self-paging ones (A/D bits unusable, §5.1.4).
+	order []uint64
+	hand  int
+
+	// suspended marks an enclave the kernel has swapped out wholesale
+	// (the only state in which enclave-managed pages may be evicted).
+	suspended bool
+}
+
+// ResidentPages reports the number of EPC-resident pages.
+func (p *Proc) ResidentPages() int { return p.resident }
+
+// Page returns the kernel's view of one page (for tests and adversaries).
+func (p *Proc) Page(va mmu.VAddr) (resident, enclaveManaged bool, ok bool) {
+	ps, exists := p.pages[va.VPN()]
+	if !exists {
+		return false, false, false
+	}
+	return ps.resident, ps.enclaveManaged, true
+}
+
+// PageVAs returns all page addresses of the enclave in ascending order of
+// first registration.
+func (p *Proc) PageVAs() []mmu.VAddr {
+	out := make([]mmu.VAddr, 0, len(p.pages))
+	n := p.E.Size / mmu.PageSize
+	for i := uint64(0); i < n; i++ {
+		va := p.E.Base + mmu.VAddr(i*mmu.PageSize)
+		if _, ok := p.pages[va.VPN()]; ok {
+			out = append(out, va)
+		}
+	}
+	return out
+}
+
+// Kernel is the untrusted OS.
+type Kernel struct {
+	CPU   *sgx.CPU
+	PT    *mmu.PageTable
+	Store *pagestore.Store
+	Clock *sim.Clock
+	Costs *sim.Costs
+
+	Adversary Adversary
+
+	// ClassicOCalls makes every driver call a classic OCALL round trip
+	// instead of an exitless host call (ablation of the §6 design choice).
+	ClassicOCalls bool
+
+	// FaultLog records every enclave fault the OS observes: the attacker's
+	// raw view of the controlled channel.
+	FaultLog trace.Log
+
+	// FetchLog records every page the OS pages in on behalf of an enclave
+	// (ay_fetch_pages arguments and OS-managed page-ins) — the §4
+	// demand-paging side channel, which Autarky bounds by policy rather
+	// than eliminates.
+	FetchLog trace.Log
+
+	Stats KernelStats
+
+	procs map[uint64]*Proc
+}
+
+// NewKernel wires the kernel to the machine and installs itself as the
+// CPU's OS handler.
+func NewKernel(cpu *sgx.CPU, pt *mmu.PageTable, store *pagestore.Store, clock *sim.Clock, costs *sim.Costs) *Kernel {
+	k := &Kernel{
+		CPU:       cpu,
+		PT:        pt,
+		Store:     store,
+		Clock:     clock,
+		Costs:     costs,
+		Adversary: NopAdversary{},
+		procs:     make(map[uint64]*Proc),
+	}
+	cpu.OS = k
+	return k
+}
+
+// Proc returns the process state for an enclave.
+func (k *Kernel) Proc(e *sgx.Enclave) *Proc { return k.procs[e.ID] }
+
+// Segment is one loadable region of an enclave image.
+type Segment struct {
+	VA    mmu.VAddr
+	Data  []byte // rounded up to whole pages; nil means zero-fill
+	Pages int    // page count when Data is nil
+	Perms mmu.Perms
+}
+
+// EnclaveSpec describes an enclave to load.
+type EnclaveSpec struct {
+	Base     mmu.VAddr
+	Size     uint64
+	Attrs    sgx.Attributes
+	NSSA     int
+	Runtime  sgx.Runtime
+	Segments []Segment
+	Quota    int
+	Mech     PagingMech
+}
+
+// LoadEnclave builds, measures and initializes an enclave per spec:
+// ECREATE, EADD of every segment page, TCS provisioning, EINIT, and PTE
+// setup. If the initial image exceeds the quota, the tail is evicted during
+// load (as Graphene-style ahead-of-time EADD loading must).
+func (k *Kernel) LoadEnclave(spec EnclaveSpec) (*Proc, error) {
+	e, err := k.CPU.ECREATE(spec.Base, spec.Size, spec.Attrs)
+	if err != nil {
+		return nil, err
+	}
+	e.Runtime = spec.Runtime
+	p := &Proc{
+		E:     e,
+		Mech:  spec.Mech,
+		Quota: spec.Quota,
+		pages: make(map[uint64]*pageState),
+	}
+	k.procs[e.ID] = p
+
+	selfPaging := spec.Attrs.Has(sgx.AttrSelfPaging)
+	for _, seg := range spec.Segments {
+		if seg.VA.Offset() != 0 {
+			return nil, fmt.Errorf("hostos: segment at unaligned %s", seg.VA)
+		}
+		npages := seg.Pages
+		if seg.Data != nil {
+			npages = int(mmu.PagesIn(uint64(len(seg.Data))))
+		}
+		for i := 0; i < npages; i++ {
+			va := seg.VA + mmu.VAddr(i*mmu.PageSize)
+			var content []byte
+			if seg.Data != nil {
+				lo := i * mmu.PageSize
+				hi := lo + mmu.PageSize
+				if hi > len(seg.Data) {
+					hi = len(seg.Data)
+				}
+				content = seg.Data[lo:hi]
+			}
+			if err := k.ensureQuota(p, 1); err != nil {
+				return nil, err
+			}
+			pfn, err := k.CPU.EADD(e, va, content, seg.Perms, sgx.PTReg)
+			if err != nil {
+				return nil, err
+			}
+			ps := &pageState{va: va, pfn: pfn, perms: seg.Perms, resident: true}
+			p.pages[va.VPN()] = ps
+			p.resident++
+			p.order = append(p.order, va.VPN())
+			k.mapPage(p, ps)
+			_ = selfPaging
+		}
+	}
+
+	nssa := spec.NSSA
+	if nssa == 0 {
+		nssa = 4
+	}
+	tcs, err := k.CPU.AddTCS(e, nssa)
+	if err != nil {
+		return nil, err
+	}
+	p.TCS = tcs
+	if err := k.CPU.EINIT(e); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// mapPage installs the PTE for a resident page. Self-paging enclaves get
+// A/D pre-set so Autarky's A/D-must-be-set rule admits the mapping
+// (paper §5.1.4); legacy enclaves get a normal cold mapping.
+func (k *Kernel) mapPage(p *Proc, ps *pageState) {
+	if p.E.SelfPaging() {
+		k.PT.MapAD(ps.va, ps.pfn, ps.perms, true, true, true)
+	} else {
+		k.PT.Map(ps.va, ps.pfn, ps.perms, true)
+	}
+}
+
+// Run enters the enclave on its TCS and executes the trusted runtime until
+// it returns (or the enclave terminates).
+func (k *Kernel) Run(p *Proc) error {
+	return k.CPU.EEnter(p.E, p.TCS)
+}
+
+// HandlePageFault implements sgx.OSHandler.
+func (k *Kernel) HandlePageFault(c *sgx.CPU, e *sgx.Enclave, tcs *sgx.TCS, f *mmu.Fault) error {
+	k.Clock.Advance(k.Costs.OSFaultWork)
+
+	// Host-memory fault (host mode, or enclave touching untrusted buffers):
+	// demand-allocate anonymous zero-fill memory.
+	if e == nil || !e.Contains(f.Addr) {
+		k.Stats.HostFaults++
+		pfn := c.Reg.Alloc()
+		k.PT.Map(f.Addr.PageBase(), pfn, mmu.PermRWX, false)
+		if e != nil {
+			return c.ERESUME(e, tcs)
+		}
+		return nil
+	}
+
+	// Enclave-region fault.
+	k.Stats.EnclaveFaults++
+	p := k.procs[e.ID]
+	k.FaultLog.Add(trace.Event{Cycle: k.Clock.Cycles(), Addr: f.Addr, Type: f.Type, Kind: trace.KindFault})
+
+	handled := k.Adversary.OnEnclaveFault(k, p, f)
+
+	if e.SelfPaging() {
+		// The address is masked; there is nothing the OS can do on its own.
+		// Attempt the silent resume first (an honest kernel knows better,
+		// but doing it documents — and tests — that hardware forbids it).
+		err := c.ERESUME(e, tcs)
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, sgx.ErrPendingException) {
+			return err
+		}
+		// Forced re-entry through the trusted handler.
+		if err := c.EEnter(e, tcs); err != nil {
+			return err
+		}
+		if _, in := c.InEnclave(); in {
+			return nil // handler resumed in-enclave
+		}
+		return c.ERESUME(e, tcs)
+	}
+
+	// Legacy enclave: the OS repairs the mapping (demand paging or undoing
+	// whatever broke it) and silently resumes — the controlled channel.
+	if !handled {
+		if err := k.serviceLegacyFault(p, f); err != nil {
+			return err
+		}
+	}
+	return c.ERESUME(e, tcs)
+}
+
+// HandleTimer implements sgx.OSHandler for preemption-timer AEXs.
+func (k *Kernel) HandleTimer(c *sgx.CPU, e *sgx.Enclave, tcs *sgx.TCS) error {
+	k.Stats.TimerTicks++
+	k.Clock.Advance(k.Costs.OSFaultWork)
+	if p := k.procs[e.ID]; p != nil {
+		k.Adversary.OnTimer(k, p)
+	}
+	return c.ERESUME(e, tcs)
+}
+
+// serviceLegacyFault implements vanilla demand paging for a legacy enclave:
+// page in evicted pages, re-map unmapped ones, restore reduced permissions.
+func (k *Kernel) serviceLegacyFault(p *Proc, f *mmu.Fault) error {
+	ps, ok := p.pages[f.Addr.VPN()]
+	if !ok {
+		return fmt.Errorf("%w: fault at %s", ErrUnknownPage, f.Addr)
+	}
+	if !ps.resident {
+		if err := k.pageIn(p, ps); err != nil {
+			return err
+		}
+		k.Stats.PageIns++
+		return nil
+	}
+	// Resident: the PTE must have been broken (not by us — by an attacker,
+	// or by a stale shootdown); restore it.
+	k.mapPage(p, ps)
+	k.CPU.TLB.Invalidate(ps.va)
+	return nil
+}
+
+// pageIn brings one evicted page back: quota check, ELDU, map.
+func (k *Kernel) pageIn(p *Proc, ps *pageState) error {
+	if err := k.ensureQuota(p, 1); err != nil {
+		return err
+	}
+	k.FetchLog.Add(trace.Event{Cycle: k.Clock.Cycles(), Addr: ps.va, Type: mmu.AccessRead, Kind: trace.KindFault})
+	pfn, err := k.CPU.ELDU(p.E, ps.va, k.Store)
+	if err != nil {
+		return err
+	}
+	ps.pfn = pfn
+	ps.resident = true
+	p.resident++
+	p.order = append(p.order, ps.va.VPN())
+	k.mapPage(p, ps)
+	return nil
+}
+
+// ensureQuota makes room for need more resident pages by evicting
+// OS-managed victims — first against the enclave's own quota, then against
+// physical EPC exhaustion, where victims may come from any enclave
+// ("a flexible mechanism to balance the number of EPC pages available to
+// each enclave, that adjusts to the available EPC and memory pressure from
+// other enclaves", §5.2.1). It fails with ErrEPCPressure when every
+// remaining resident page is pinned.
+func (k *Kernel) ensureQuota(p *Proc, need int) error {
+	if p.Quota > 0 {
+		for p.resident+need > p.Quota {
+			victim := k.pickVictim(p)
+			if victim == nil {
+				return ErrEPCPressure
+			}
+			if err := k.evictOne(p, victim); err != nil {
+				return err
+			}
+			k.Stats.PageOuts++
+		}
+	}
+	return k.ensurePhysicalFrames(p, need)
+}
+
+// ensurePhysicalFrames reclaims OS-managed pages — from any enclave,
+// preferring others' — until the physical EPC has need free frames.
+func (k *Kernel) ensurePhysicalFrames(p *Proc, need int) error {
+	for k.CPU.EPC.FreeFrames() < need {
+		reclaimed := false
+		// Prefer victims from other enclaves (balance pressure), then self.
+		for _, other := range k.procs {
+			if other == p || other.resident == 0 {
+				continue
+			}
+			if victim := k.pickVictim(other); victim != nil {
+				if err := k.evictOne(other, victim); err != nil {
+					return err
+				}
+				k.Stats.PageOuts++
+				reclaimed = true
+				break
+			}
+		}
+		if reclaimed {
+			continue
+		}
+		victim := k.pickVictim(p)
+		if victim == nil {
+			return ErrEPCPressure
+		}
+		if err := k.evictOne(p, victim); err != nil {
+			return err
+		}
+		k.Stats.PageOuts++
+	}
+	return nil
+}
+
+// pickVictim selects a resident OS-managed page: CLOCK (second chance via
+// the PTE accessed bit) for legacy enclaves, FIFO for self-paging ones
+// where A/D bits are unusable (paper §7 setup: "the baseline uses a clock
+// page eviction policy, Autarky uses FIFO eviction").
+func (k *Kernel) pickVictim(p *Proc) *pageState {
+	compact := p.order[:0]
+	for _, vpn := range p.order {
+		if ps := p.pages[vpn]; ps != nil && ps.resident {
+			compact = append(compact, vpn)
+		}
+	}
+	p.order = compact
+	if len(p.order) == 0 {
+		return nil
+	}
+	useClock := !p.E.SelfPaging()
+	scanned := 0
+	for scanned < 2*len(p.order) {
+		if p.hand >= len(p.order) {
+			p.hand = 0
+		}
+		vpn := p.order[p.hand]
+		ps := p.pages[vpn]
+		if ps == nil || !ps.resident || ps.enclaveManaged {
+			p.hand++
+			scanned++
+			continue
+		}
+		if useClock {
+			if pte, ok := k.PT.Get(ps.va); ok && pte.Accessed {
+				// Second chance: clear and move on.
+				k.PT.ClearAccessed(ps.va)
+				k.CPU.TLB.Invalidate(ps.va)
+				p.hand++
+				scanned++
+				continue
+			}
+		}
+		p.hand++
+		return ps
+	}
+	return nil
+}
+
+// evictOne runs the full SGXv1 eviction dance for one page:
+// EBLOCK → unmap → ETRACK → TLB shootdown → EWB.
+func (k *Kernel) evictOne(p *Proc, ps *pageState) error {
+	if err := k.CPU.EBLOCK(p.E, ps.va, ps.pfn); err != nil {
+		return err
+	}
+	k.PT.Unmap(ps.va)
+	if err := k.CPU.ETRACK(p.E); err != nil {
+		return err
+	}
+	k.CPU.TLB.Shootdown(ps.va)
+	k.CPU.CompleteShootdown(p.E)
+	if err := k.CPU.EWB(p.E, ps.va, ps.pfn, k.Store); err != nil {
+		return err
+	}
+	ps.resident = false
+	ps.everEvicted = true
+	ps.pfn = mmu.NoPFN
+	p.resident--
+	return nil
+}
+
+// ReclaimFromEnclave forces the enclave's resident footprint down to max
+// pages by evicting OS-managed pages (the kernel's memory-pressure path).
+// Pinned pages are respected; the call reports how many pages it reclaimed.
+func (k *Kernel) ReclaimFromEnclave(p *Proc, max int) int {
+	n := 0
+	for p.resident > max {
+		victim := k.pickVictim(p)
+		if victim == nil {
+			break
+		}
+		if err := k.evictOne(p, victim); err != nil {
+			break
+		}
+		n++
+		k.Stats.PageOuts++
+	}
+	return n
+}

@@ -1,0 +1,66 @@
+package hostos
+
+import (
+	"fmt"
+
+	"autarky/internal/mmu"
+)
+
+// This file implements the kernel's last-resort memory-pressure option from
+// the Autarky contract (§5.2.1): enclave-managed pages are pinned while the
+// enclave is runnable, so to reclaim them the OS must suspend the enclave,
+// may then evict ALL its pages (swap the whole enclave out), and must
+// restore every enclave-managed page before resuming it.
+
+// SuspendEnclave marks the enclave non-runnable and evicts all of its
+// resident pages — including enclave-managed ones, which is legal only in
+// this state — returning the number of pages swapped out.
+func (k *Kernel) SuspendEnclave(p *Proc) (int, error) {
+	if p.suspended {
+		return 0, fmt.Errorf("hostos: enclave %d already suspended", p.E.ID)
+	}
+	if _, in := k.CPU.InEnclave(); in {
+		return 0, fmt.Errorf("hostos: cannot suspend a running enclave")
+	}
+	p.suspended = true
+	n := 0
+	for _, vpn := range append([]uint64(nil), p.order...) {
+		ps := p.pages[vpn]
+		if ps == nil || !ps.resident {
+			continue
+		}
+		if err := k.evictOne(p, ps); err != nil {
+			return n, err
+		}
+		n++
+		k.Stats.PageOuts++
+	}
+	return n, nil
+}
+
+// ResumeEnclave restores every enclave-managed page (honouring the
+// contract) and marks the enclave runnable again. OS-managed pages are
+// left to ordinary demand paging.
+func (k *Kernel) ResumeEnclave(p *Proc) error {
+	if !p.suspended {
+		return fmt.Errorf("hostos: enclave %d not suspended", p.E.ID)
+	}
+	var managed []mmu.VAddr
+	for _, ps := range p.pages {
+		if ps.enclaveManaged && !ps.resident {
+			managed = append(managed, ps.va)
+		}
+	}
+	for _, va := range managed {
+		ps := p.pages[va.VPN()]
+		if err := k.pageIn(p, ps); err != nil {
+			return fmt.Errorf("hostos: restoring %s on resume: %w", va, err)
+		}
+		k.Stats.PageIns++
+	}
+	p.suspended = false
+	return nil
+}
+
+// Suspended reports whether the enclave is swapped out.
+func (p *Proc) Suspended() bool { return p.suspended }

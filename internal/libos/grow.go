@@ -1,0 +1,61 @@
+package libos
+
+import (
+	"fmt"
+
+	"autarky/internal/core"
+	"autarky/internal/mmu"
+)
+
+// This file implements SGXv2 dynamic heap growth (§2.1: "adding enclave
+// pages … requires the OS to coordinate changes with the enclave",
+// EAUG + EACCEPT). SGXv1 enclaves must EADD their whole heap before EINIT —
+// the reason Graphene enclaves are huge and slow to load — while SGXv2
+// enclaves reserve ELRANGE and materialize pages on demand.
+
+// ExtendHeap adds n fresh zero-filled pages from the image's reserved
+// ELRANGE tail to a running SGXv2 self-paging enclave: the driver EAUGs and
+// maps pending pages, the runtime EACCEPTs each, and the new pages join
+// enclave management (unpinned, subject to the active paging policy).
+//
+// It must be called from inside the enclave (EACCEPT is an enclave-mode
+// instruction), i.e. from the application body.
+func (p *Process) ExtendHeap(ctx *core.Context, n int) ([]mmu.VAddr, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("libos: ExtendHeap(%d)", n)
+	}
+	if p.Reserve.Pages == 0 {
+		return nil, fmt.Errorf("libos: image reserved no ELRANGE for growth (set AppImage.ReservePages)")
+	}
+	if p.grown+n > p.Reserve.Pages {
+		return nil, fmt.Errorf("libos: reserve exhausted (%d of %d pages used, %d requested)",
+			p.grown, p.Reserve.Pages, n)
+	}
+	if _, in := p.Kernel.CPU.InEnclave(); !in {
+		return nil, fmt.Errorf("libos: ExtendHeap outside enclave execution")
+	}
+
+	vas := make([]mmu.VAddr, n)
+	perms := make([]mmu.Perms, n)
+	for i := range vas {
+		vas[i] = p.Reserve.Page(p.grown + i)
+		perms[i] = mmu.PermRW
+	}
+	pfns, err := p.Kernel.AugPages(p.Enclave(), vas, perms)
+	if err != nil {
+		return nil, err
+	}
+	for i, va := range vas {
+		if err := p.Kernel.CPU.EACCEPT(va, pfns[i]); err != nil {
+			return nil, fmt.Errorf("libos: EACCEPT of grown page %s: %w", va, err)
+		}
+	}
+	if err := p.Runtime.ManagePages(vas, mmu.PermRW, false); err != nil {
+		return nil, err
+	}
+	p.grown += n
+	return vas, nil
+}
+
+// GrownPages reports how many reserve pages have been materialized.
+func (p *Process) GrownPages() int { return p.grown }

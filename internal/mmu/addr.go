@@ -1,0 +1,126 @@
+// Package mmu models the x86-64 memory-management unit that SGX is entangled
+// with: a 4-level radix page table walked on TLB misses, a set-associative
+// TLB that is flushed on enclave transitions, accessed/dirty bit maintenance,
+// and TLB shootdowns.
+//
+// The package is deliberately ignorant of SGX. The SGX layer
+// (internal/sgx) hooks the post-walk path to apply EPCM checks and Autarky's
+// A/D-bits-must-be-set rule, exactly as the real hardware layers the two
+// mechanisms (Intel SDM §37.3, paper §2.1).
+package mmu
+
+import "fmt"
+
+// PageSize is the only page size the model supports (4 KiB, as in the
+// paper's SGX EPC).
+const PageSize = 4096
+
+// PageShift is log2(PageSize).
+const PageShift = 12
+
+// VAddr is a 64-bit virtual address.
+type VAddr uint64
+
+// PFN is a physical frame number. The physical address space is abstract:
+// frames are handed out by allocators (EPC frames by the SGX model, regular
+// frames by the host OS model) from disjoint ranges.
+type PFN uint64
+
+// NoPFN is the zero frame, never handed out by any allocator.
+const NoPFN PFN = 0
+
+// VPN returns the virtual page number of a.
+func (a VAddr) VPN() uint64 { return uint64(a) >> PageShift }
+
+// PageBase returns a rounded down to its page base.
+func (a VAddr) PageBase() VAddr { return a &^ (PageSize - 1) }
+
+// Offset returns the in-page offset of a.
+func (a VAddr) Offset() uint64 { return uint64(a) & (PageSize - 1) }
+
+// String formats the address in hex.
+func (a VAddr) String() string { return fmt.Sprintf("0x%x", uint64(a)) }
+
+// PageOf returns the base address of the page with virtual page number vpn.
+func PageOf(vpn uint64) VAddr { return VAddr(vpn << PageShift) }
+
+// PagesIn returns the number of pages needed to back n bytes.
+func PagesIn(n uint64) uint64 { return (n + PageSize - 1) / PageSize }
+
+// AccessType distinguishes the three kinds of memory access the controlled
+// channel can observe (data read, data write, instruction fetch).
+type AccessType uint8
+
+const (
+	// AccessRead is a data load.
+	AccessRead AccessType = iota
+	// AccessWrite is a data store.
+	AccessWrite
+	// AccessExec is an instruction fetch.
+	AccessExec
+)
+
+// String names the access type.
+func (t AccessType) String() string {
+	switch t {
+	case AccessRead:
+		return "read"
+	case AccessWrite:
+		return "write"
+	case AccessExec:
+		return "exec"
+	default:
+		return fmt.Sprintf("AccessType(%d)", uint8(t))
+	}
+}
+
+// Perms is a page permission set.
+type Perms uint8
+
+// Permission bits. PermUser is set on all enclave and application mappings;
+// the model has no supervisor-mode victims.
+const (
+	PermRead Perms = 1 << iota
+	PermWrite
+	PermExec
+	PermUser
+)
+
+// PermRW and PermRWX are the common combinations.
+const (
+	PermRW  = PermRead | PermWrite | PermUser
+	PermRX  = PermRead | PermExec | PermUser
+	PermRWX = PermRead | PermWrite | PermExec | PermUser
+)
+
+// Allows reports whether the permission set admits the given access type.
+func (p Perms) Allows(t AccessType) bool {
+	switch t {
+	case AccessRead:
+		return p&PermRead != 0
+	case AccessWrite:
+		return p&PermWrite != 0
+	case AccessExec:
+		return p&PermExec != 0
+	default:
+		return false
+	}
+}
+
+// String renders the permission set as "rwxu"-style flags.
+func (p Perms) String() string {
+	b := []byte("----")
+	if p&PermRead != 0 {
+		b[0] = 'r'
+	}
+	if p&PermWrite != 0 {
+		b[1] = 'w'
+	}
+	if p&PermExec != 0 {
+		b[2] = 'x'
+	}
+	if p&PermUser != 0 {
+		b[3] = 'u'
+	}
+	return string(b)
+}

@@ -1,0 +1,242 @@
+// Package oram implements the paper's software oblivious-RAM paging scheme
+// (§5.2.2): a PathORAM [Stefanov et al.] over untrusted memory, plus the
+// Autarky-enabled enclave-managed page cache that makes it practical.
+//
+// Two operating modes reproduce the paper's comparison:
+//
+//   - Cached (Autarky): the position map, stash and a large page cache are
+//     enclave-managed EPC pages whose access pattern the modified hardware
+//     hides, so they are accessed directly; only cache misses run the ORAM
+//     protocol. This is the configuration that is IMPOSSIBLE without
+//     Autarky: on vanilla SGX the OS observes accesses to EPC pages.
+//   - Uncached (vanilla-SGX CoSMIX): every access runs the ORAM protocol,
+//     and every access to the position map and stash must itself be
+//     oblivious — a CMOV linear scan over the whole structure — because the
+//     OS can observe page access patterns. The paper measured a 232×
+//     slowdown for this mode.
+package oram
+
+import (
+	"fmt"
+
+	"autarky/internal/sim"
+)
+
+// Stats counts ORAM-level events.
+type Stats struct {
+	Accesses   uint64
+	BlockMoves uint64
+	ScanWords  uint64
+	StashPeak  int
+}
+
+// PathORAM is a non-recursive PathORAM with bucket size Z over blocks of
+// BlockSize bytes. The tree lives in untrusted memory; the position map and
+// stash are trusted state (their access-pattern cost depends on the mode).
+type PathORAM struct {
+	numBlocks int
+	blockSize int
+	z         int
+	levels    int // tree levels; leaves = 1 << (levels-1)
+	leaves    int
+
+	buckets [][]slot // len 2^levels - 1
+	posmap  []uint32
+	stash   map[uint32][]byte
+
+	// Oblivious selects uncached mode: every posmap/stash access is charged
+	// as a full linear oblivious scan.
+	Oblivious bool
+	// StashCap is the modelled stash scan length in uncached mode.
+	StashCap int
+
+	clock *sim.Clock
+	costs *sim.Costs
+	rng   *sim.Rand
+
+	Stats Stats
+}
+
+type slot struct {
+	valid bool
+	id    uint32
+	data  []byte
+}
+
+const invalidLeaf = ^uint32(0)
+
+// New builds a PathORAM covering numBlocks blocks of blockSize bytes with
+// bucket size z. The tree is sized to the next power of two of
+// numBlocks (so there are at least as many leaves as blocks / z, the
+// standard PathORAM provisioning).
+func New(numBlocks, blockSize, z int, clock *sim.Clock, costs *sim.Costs, seed uint64) *PathORAM {
+	if numBlocks <= 0 || blockSize <= 0 || z <= 0 {
+		panic("oram: non-positive parameter")
+	}
+	leaves := 1
+	levels := 1
+	for leaves*z < numBlocks {
+		leaves *= 2
+		levels++
+	}
+	o := &PathORAM{
+		numBlocks: numBlocks,
+		blockSize: blockSize,
+		z:         z,
+		levels:    levels,
+		leaves:    leaves,
+		buckets:   make([][]slot, 2*leaves-1),
+		posmap:    make([]uint32, numBlocks),
+		stash:     make(map[uint32][]byte),
+		StashCap:  256,
+		clock:     clock,
+		costs:     costs,
+		rng:       sim.NewRand(seed),
+	}
+	for i := range o.buckets {
+		o.buckets[i] = make([]slot, z)
+	}
+	for i := range o.posmap {
+		o.posmap[i] = invalidLeaf // not yet written
+	}
+	return o
+}
+
+// NumBlocks reports the logical block count.
+func (o *PathORAM) NumBlocks() int { return o.numBlocks }
+
+// BlockSize reports the block size in bytes.
+func (o *PathORAM) BlockSize() int { return o.blockSize }
+
+// Levels reports the tree depth (root inclusive).
+func (o *PathORAM) Levels() int { return o.levels }
+
+// StashSize reports the current stash occupancy.
+func (o *PathORAM) StashSize() int { return len(o.stash) }
+
+// bucketIndex returns the tree-array index of the bucket at the given level
+// (0 = root) on the path to leaf.
+func (o *PathORAM) bucketIndex(leaf uint32, level int) int {
+	// Node index in a 1-based heap: walk down from root.
+	node := 1
+	for l := 0; l < level; l++ {
+		bit := (leaf >> (o.levels - 2 - l)) & 1
+		node = node*2 + int(bit)
+	}
+	return node - 1
+}
+
+// pathContains reports whether the bucket at (level) on pathLeaf's path
+// also lies on the path of blockLeaf (standard PathORAM placement test).
+func (o *PathORAM) pathContains(pathLeaf, blockLeaf uint32, level int) bool {
+	if level == 0 {
+		return true
+	}
+	shift := o.levels - 1 - level
+	return (pathLeaf >> shift) == (blockLeaf >> shift)
+}
+
+func (o *PathORAM) chargeScan(words int) {
+	o.clock.Advance(uint64(words) * o.costs.ObliviousWordScan)
+	o.Stats.ScanWords += uint64(words)
+}
+
+func (o *PathORAM) chargeMove(n int) {
+	o.clock.Advance(uint64(n) * o.costs.ORAMBlockMove)
+	o.Stats.BlockMoves += uint64(n)
+}
+
+// Access performs one ORAM access. If write is true, data replaces the
+// block contents; the previous contents are returned either way (zeroes for
+// a never-written block). id must be < NumBlocks.
+func (o *PathORAM) Access(id uint32, write bool, data []byte) ([]byte, error) {
+	if int(id) >= o.numBlocks {
+		return nil, fmt.Errorf("oram: block %d out of range %d", id, o.numBlocks)
+	}
+	if write && len(data) > o.blockSize {
+		return nil, fmt.Errorf("oram: write of %d bytes exceeds block size %d", len(data), o.blockSize)
+	}
+	o.Stats.Accesses++
+
+	// Position map lookup + remap. Uncached mode pays a full oblivious scan
+	// (CMOV over every entry); cached mode reads it directly because the
+	// map lives in enclave-managed pages.
+	if o.Oblivious {
+		o.chargeScan(o.numBlocks)
+	}
+	leaf := o.posmap[id]
+	newLeaf := uint32(o.rng.Intn(o.leaves))
+	o.posmap[id] = newLeaf
+
+	fresh := leaf == invalidLeaf
+	if fresh {
+		// Never written: nothing on any path; materialize a zero block in
+		// the stash under the new position.
+		leaf = newLeaf
+	}
+
+	// Read the whole path into the stash.
+	for level := 0; level < o.levels; level++ {
+		b := o.buckets[o.bucketIndex(leaf, level)]
+		for i := range b {
+			if b[i].valid {
+				o.stash[b[i].id] = b[i].data
+				b[i].valid = false
+			}
+		}
+	}
+	o.chargeMove(o.levels * o.z)
+
+	// Stash lookup. Uncached mode scans the whole (modelled) stash.
+	if o.Oblivious {
+		o.chargeScan(o.StashCap)
+	}
+	blk, ok := o.stash[id]
+	if !ok {
+		blk = make([]byte, o.blockSize)
+	}
+	out := make([]byte, o.blockSize)
+	copy(out, blk)
+	if write {
+		nb := make([]byte, o.blockSize)
+		copy(nb, data)
+		blk = nb
+	}
+	o.stash[id] = blk
+
+	// Greedy write-back, deepest level first.
+	for level := o.levels - 1; level >= 0; level-- {
+		b := o.buckets[o.bucketIndex(leaf, level)]
+		free := 0
+		for i := range b {
+			if !b[i].valid {
+				free++
+			}
+		}
+		if free == 0 {
+			continue
+		}
+		for sid, sdata := range o.stash {
+			if free == 0 {
+				break
+			}
+			if !o.pathContains(leaf, o.posmap[sid], level) {
+				continue
+			}
+			for i := range b {
+				if !b[i].valid {
+					b[i] = slot{valid: true, id: sid, data: sdata}
+					free--
+					break
+				}
+			}
+			delete(o.stash, sid)
+		}
+	}
+	o.chargeMove(o.levels * o.z)
+
+	if len(o.stash) > o.Stats.StashPeak {
+		o.Stats.StashPeak = len(o.stash)
+	}
+	return out, nil
+}

@@ -1,0 +1,191 @@
+// Package pagestore implements the untrusted backing store for evicted
+// enclave pages, together with the trusted sealing primitive that protects
+// their confidentiality, integrity and freshness.
+//
+// It models two things from the paper:
+//
+//   - the EWB/ELDU hardware paging path, which "guarantees the integrity of
+//     the swapped out contents, and protects against replay attacks"
+//     (paper §2.1) using per-page version counters held in trusted VA pages;
+//   - the SGXv2 software self-paging path, where "enclave software
+//     implement[s] custom encryption" (paper §5.2.1) and stores page
+//     contents "securely (encrypted and signed) in untrusted memory" (§6).
+//
+// Sealing uses AES-128-GCM with a per-enclave key. The nonce binds the
+// page's virtual page number and its eviction version, and the additional
+// data binds the enclave identity, so a blob can only be restored to the
+// address it was evicted from, at the version the trusted side expects.
+package pagestore
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"autarky/internal/mmu"
+)
+
+// Errors returned by Open.
+var (
+	// ErrIntegrity indicates the blob failed authentication: it was
+	// tampered with, replayed (stale version), or bound to a different page.
+	ErrIntegrity = errors.New("pagestore: page blob failed integrity/freshness check")
+	// ErrNotFound indicates no blob is stored for the page.
+	ErrNotFound = errors.New("pagestore: no blob for page")
+)
+
+// Blob is one sealed page as held in untrusted memory.
+type Blob struct {
+	Ciphertext []byte // AES-GCM ciphertext || tag
+	// Version as claimed by the untrusted store. The trusted side never
+	// relies on it; it is advisory (the real freshness check is the MAC
+	// binding of the trusted version counter).
+	Version uint64
+}
+
+// Sealer seals and opens pages for one enclave. It is trusted state: in the
+// EWB/ELDU model it lives inside the CPU; in the SGXv2 software model it
+// lives inside the enclave runtime.
+type Sealer struct {
+	aead      cipher.AEAD
+	enclaveID uint64
+}
+
+// NewSealer derives a sealing key for the enclave from a root secret.
+// The derivation is a model of SGX's EGETKEY: deterministic per enclave,
+// unknown to the OS.
+func NewSealer(rootSecret []byte, enclaveID uint64) (*Sealer, error) {
+	h := sha256.New()
+	h.Write(rootSecret)
+	var idb [8]byte
+	binary.LittleEndian.PutUint64(idb[:], enclaveID)
+	h.Write(idb[:])
+	key := h.Sum(nil)[:16]
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("pagestore: deriving sealing key: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("pagestore: building AEAD: %w", err)
+	}
+	return &Sealer{aead: aead, enclaveID: enclaveID}, nil
+}
+
+func (s *Sealer) nonce(va mmu.VAddr, version uint64) []byte {
+	n := make([]byte, 12)
+	binary.LittleEndian.PutUint32(n[0:4], uint32(va.VPN()))
+	binary.LittleEndian.PutUint64(n[4:12], version)
+	return n
+}
+
+func (s *Sealer) aad(va mmu.VAddr, version uint64) []byte {
+	a := make([]byte, 24)
+	binary.LittleEndian.PutUint64(a[0:8], s.enclaveID)
+	binary.LittleEndian.PutUint64(a[8:16], uint64(va.PageBase()))
+	binary.LittleEndian.PutUint64(a[16:24], version)
+	return a
+}
+
+// Seal encrypts one page for (va, version). len(plain) must be PageSize.
+func (s *Sealer) Seal(va mmu.VAddr, version uint64, plain []byte) (Blob, error) {
+	if len(plain) != mmu.PageSize {
+		return Blob{}, fmt.Errorf("pagestore: sealing %d bytes, want %d", len(plain), mmu.PageSize)
+	}
+	ct := s.aead.Seal(nil, s.nonce(va, version), plain, s.aad(va, version))
+	return Blob{Ciphertext: ct, Version: version}, nil
+}
+
+// Open decrypts a blob that must have been sealed for exactly
+// (va, expectVersion). A stale (replayed) or tampered blob fails with
+// ErrIntegrity.
+func (s *Sealer) Open(va mmu.VAddr, expectVersion uint64, b Blob) ([]byte, error) {
+	plain, err := s.aead.Open(nil, s.nonce(va, expectVersion), b.Ciphertext, s.aad(va, expectVersion))
+	if err != nil {
+		return nil, ErrIntegrity
+	}
+	return plain, nil
+}
+
+// Store is the untrusted in-regular-memory repository of sealed pages, keyed
+// by (enclave, page). Being untrusted, it offers mutation hooks (Corrupt,
+// Replay) that attack tests use to verify the trusted side rejects bad blobs.
+type Store struct {
+	blobs map[storeKey]Blob
+	// history snapshots every blob the store has ever seen — the store is
+	// attacker-controlled memory, and an attacker copies blobs as they
+	// arrive — so replay attacks can be expressed even across deletes.
+	history map[storeKey][]Blob
+}
+
+type storeKey struct {
+	enclaveID uint64
+	vpn       uint64
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{
+		blobs:   make(map[storeKey]Blob),
+		history: make(map[storeKey][]Blob),
+	}
+}
+
+func key(enclaveID uint64, va mmu.VAddr) storeKey {
+	return storeKey{enclaveID: enclaveID, vpn: va.VPN()}
+}
+
+// Put stores the sealed blob for a page, snapshotting it into the
+// attacker's archive.
+func (st *Store) Put(enclaveID uint64, va mmu.VAddr, b Blob) {
+	k := key(enclaveID, va)
+	st.history[k] = append(st.history[k], b)
+	st.blobs[k] = b
+}
+
+// Get returns the current blob for a page.
+func (st *Store) Get(enclaveID uint64, va mmu.VAddr) (Blob, error) {
+	b, ok := st.blobs[key(enclaveID, va)]
+	if !ok {
+		return Blob{}, ErrNotFound
+	}
+	return b, nil
+}
+
+// Delete removes the blob for a page (after a successful page-in).
+func (st *Store) Delete(enclaveID uint64, va mmu.VAddr) {
+	delete(st.blobs, key(enclaveID, va))
+}
+
+// Len reports how many pages are currently swapped out across all enclaves.
+func (st *Store) Len() int { return len(st.blobs) }
+
+// Corrupt flips a byte of the stored ciphertext — an active attack on the
+// backing store. Reports whether a blob existed.
+func (st *Store) Corrupt(enclaveID uint64, va mmu.VAddr) bool {
+	k := key(enclaveID, va)
+	b, ok := st.blobs[k]
+	if !ok || len(b.Ciphertext) == 0 {
+		return false
+	}
+	ct := make([]byte, len(b.Ciphertext))
+	copy(ct, b.Ciphertext)
+	ct[0] ^= 0xff
+	st.blobs[k] = Blob{Ciphertext: ct, Version: b.Version}
+	return true
+}
+
+// Replay replaces the current blob with the oldest archived one — the
+// classic rollback attack. Reports whether an older archived blob existed.
+func (st *Store) Replay(enclaveID uint64, va mmu.VAddr) bool {
+	k := key(enclaveID, va)
+	hist := st.history[k]
+	if len(hist) < 2 {
+		return false
+	}
+	st.blobs[k] = hist[0]
+	return true
+}

@@ -1,0 +1,143 @@
+package sgx
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// This file models SGX remote attestation to the extent the paper relies on
+// it (§3): enclave restarts — the residue of Autarky's terminate-on-attack
+// policy — must be detectable by a trusted party, "for example, the enclave
+// could perform remote attestation at startup … users or trusted services
+// could detect unusually frequent restarts."
+//
+// Quotes are MACed with a key derived from the platform root secret
+// (modelling the EPID/DCAP signing chain): the OS can observe quotes but
+// cannot forge them.
+
+// Quote is an attestation statement: this measurement, with these
+// attributes, runs as this enclave instance on this platform. The
+// (Platform, EnclaveID) pair identifies the instance: a restart — on the
+// same machine or any other — produces a fresh pair.
+type Quote struct {
+	Measurement [32]byte
+	Attrs       Attributes
+	Platform    uint64 // per-boot platform instance tag (quoting-enclave state)
+	EnclaveID   uint64
+	ReportData  [64]byte
+	mac         [32]byte
+}
+
+// Attestation errors.
+var (
+	// ErrQuoteForged indicates a quote that does not verify under the
+	// platform key.
+	ErrQuoteForged = errors.New("sgx: quote MAC invalid")
+	// ErrQuoteDead indicates a quote requested from a terminated enclave.
+	ErrQuoteDead = errors.New("sgx: cannot quote a terminated enclave")
+)
+
+func (c *CPU) quoteKey() []byte {
+	h := sha256.New()
+	h.Write([]byte("sgx-quoting-key"))
+	h.Write(c.rootSecret)
+	return h.Sum(nil)
+}
+
+func quoteMAC(key []byte, q *Quote) [32]byte {
+	m := hmac.New(sha256.New, key)
+	m.Write(q.Measurement[:])
+	var b [24]byte
+	binary.LittleEndian.PutUint64(b[0:8], uint64(q.Attrs))
+	binary.LittleEndian.PutUint64(b[8:16], q.Platform)
+	binary.LittleEndian.PutUint64(b[16:24], q.EnclaveID)
+	m.Write(b[:])
+	m.Write(q.ReportData[:])
+	var out [32]byte
+	copy(out[:], m.Sum(nil))
+	return out
+}
+
+// EREPORT produces a quote for an initialized, live enclave, binding the
+// caller-supplied report data (e.g. a key-exchange nonce). The model folds
+// the EREPORT→quoting-enclave chain into one step.
+func (c *CPU) EREPORT(e *Enclave, reportData []byte) (Quote, error) {
+	if !e.initialized {
+		return Quote{}, ErrNotInitialized
+	}
+	if dead, reason, detail := e.Dead(); dead {
+		return Quote{}, fmt.Errorf("%w (%s: %s)", ErrQuoteDead, reason, detail)
+	}
+	q := Quote{
+		Measurement: e.Measurement(),
+		Attrs:       e.Attrs,
+		Platform:    c.instanceSalt,
+		EnclaveID:   e.ID,
+	}
+	copy(q.ReportData[:], reportData)
+	q.mac = quoteMAC(c.quoteKey(), &q)
+	return q, nil
+}
+
+// VerifyQuote checks a quote's authenticity against the platform.
+func (c *CPU) VerifyQuote(q Quote) error {
+	want := quoteMAC(c.quoteKey(), &q)
+	if !hmac.Equal(want[:], q.mac[:]) {
+		return ErrQuoteForged
+	}
+	return nil
+}
+
+// RestartMonitor is the trusted relying party of §3: it attests each
+// instance of a service enclave at startup and flags unusually frequent
+// restarts — the defense against an attacker harvesting one termination's
+// worth of leakage per restart.
+type RestartMonitor struct {
+	cpu *CPU
+	// MaxRestarts is the number of distinct instances of the same
+	// measurement the monitor tolerates before flagging.
+	MaxRestarts int
+
+	instances map[[32]byte]map[[2]uint64]struct{}
+}
+
+// ErrRestartStorm is returned when a measurement exceeds its restart budget.
+var ErrRestartStorm = errors.New("sgx: unusually frequent enclave restarts (possible termination-attack harvesting)")
+
+// NewRestartMonitor builds a monitor allowing maxRestarts instances per
+// measurement.
+func NewRestartMonitor(cpu *CPU, maxRestarts int) *RestartMonitor {
+	return &RestartMonitor{
+		cpu:         cpu,
+		MaxRestarts: maxRestarts,
+		instances:   make(map[[32]byte]map[[2]uint64]struct{}),
+	}
+}
+
+// Admit verifies the instance's startup quote and counts it. It returns
+// ErrRestartStorm once restarts of the same measurement exceed the budget,
+// and ErrQuoteForged for quotes the platform did not sign.
+func (m *RestartMonitor) Admit(q Quote) error {
+	if err := m.cpu.VerifyQuote(q); err != nil {
+		return err
+	}
+	set := m.instances[q.Measurement]
+	if set == nil {
+		set = make(map[[2]uint64]struct{})
+		m.instances[q.Measurement] = set
+	}
+	set[[2]uint64{q.Platform, q.EnclaveID}] = struct{}{}
+	if len(set) > m.MaxRestarts {
+		return fmt.Errorf("%w: %d instances of %x", ErrRestartStorm, len(set), q.Measurement[:4])
+	}
+	return nil
+}
+
+// Restarts reports how many distinct instances of a measurement have been
+// admitted.
+func (m *RestartMonitor) Restarts(measurement [32]byte) int {
+	return len(m.instances[measurement])
+}

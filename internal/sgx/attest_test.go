@@ -1,0 +1,124 @@
+package sgx
+
+import (
+	"errors"
+	"testing"
+
+	"autarky/internal/mmu"
+)
+
+func TestEREPORTAndVerify(t *testing.T) {
+	r := newRig(t)
+	e, _ := r.buildEnclave(t, AttrSelfPaging, 1)
+	q, err := r.cpu.EREPORT(e, []byte("nonce"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Measurement != e.Measurement() || q.Attrs != e.Attrs {
+		t.Fatal("quote fields wrong")
+	}
+	if err := r.cpu.VerifyQuote(q); err != nil {
+		t.Fatalf("genuine quote rejected: %v", err)
+	}
+}
+
+func TestForgedQuoteRejected(t *testing.T) {
+	r := newRig(t)
+	e, _ := r.buildEnclave(t, 0, 1)
+	q, _ := r.cpu.EREPORT(e, nil)
+	q.Attrs |= AttrSelfPaging // OS claims the defense is on
+	if err := r.cpu.VerifyQuote(q); !errors.Is(err, ErrQuoteForged) {
+		t.Fatalf("attribute-tampered quote accepted: %v", err)
+	}
+	q2, _ := r.cpu.EREPORT(e, nil)
+	q2.ReportData[0] ^= 1
+	if err := r.cpu.VerifyQuote(q2); !errors.Is(err, ErrQuoteForged) {
+		t.Fatalf("data-tampered quote accepted: %v", err)
+	}
+}
+
+func TestQuoteAcrossPlatformsRejected(t *testing.T) {
+	r1 := newRig(t)
+	e, _ := r1.buildEnclave(t, 0, 1)
+	q, _ := r1.cpu.EREPORT(e, nil)
+	r2 := newRig(t)
+	r2.cpu.rootSecret = []byte("other-platform")
+	if err := r2.cpu.VerifyQuote(q); !errors.Is(err, ErrQuoteForged) {
+		t.Fatalf("cross-platform quote accepted: %v", err)
+	}
+}
+
+func TestDeadEnclaveCannotQuote(t *testing.T) {
+	r := newRig(t)
+	e, tcs := r.buildEnclave(t, AttrSelfPaging, 1)
+	r.onEntry = func(*TCS) { r.cpu.Terminate(TerminateAttackDetected, "x") }
+	_ = r.cpu.EEnter(e, tcs)
+	if _, err := r.cpu.EREPORT(e, nil); !errors.Is(err, ErrQuoteDead) {
+		t.Fatalf("dead enclave quoted: %v", err)
+	}
+}
+
+func TestUninitializedEnclaveCannotQuote(t *testing.T) {
+	r := newRig(t)
+	e, _ := r.cpu.ECREATE(rigBase, mmu.PageSize, 0)
+	if _, err := r.cpu.EREPORT(e, nil); !errors.Is(err, ErrNotInitialized) {
+		t.Fatalf("uninitialized enclave quoted: %v", err)
+	}
+}
+
+func TestRestartMonitorFlagsStorm(t *testing.T) {
+	// The §3 defense: the trusted party attests each restart and flags a
+	// storm — bounding what a terminate-and-restart attacker can harvest.
+	r := newRig(t)
+	mon := NewRestartMonitor(r.cpu, 3)
+	var measurement [32]byte
+	for i := 0; i < 5; i++ {
+		// Each "restart" is a fresh enclave with the identical image.
+		rr := newRig(t)
+		rr.cpu.rootSecret = r.cpu.rootSecret
+		rr.cpu.nextEnclaveID = uint64(i * 100) // distinct instance IDs
+		e, _ := rr.buildEnclave(t, AttrSelfPaging, 1)
+		measurement = e.Measurement()
+		q, err := rr.cpu.EREPORT(e, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = mon.Admit(q)
+		if i < 3 && err != nil {
+			t.Fatalf("restart %d rejected: %v", i, err)
+		}
+		if i >= 3 && !errors.Is(err, ErrRestartStorm) {
+			t.Fatalf("restart %d not flagged: %v", i, err)
+		}
+	}
+	if mon.Restarts(measurement) != 5 {
+		t.Fatalf("Restarts = %d", mon.Restarts(measurement))
+	}
+}
+
+func TestRestartMonitorCountsInstancesNotQuotes(t *testing.T) {
+	r := newRig(t)
+	mon := NewRestartMonitor(r.cpu, 2)
+	e, _ := r.buildEnclave(t, 0, 1)
+	// Re-attesting the same live instance many times is not a restart.
+	for i := 0; i < 10; i++ {
+		q, _ := r.cpu.EREPORT(e, []byte{byte(i)})
+		if err := mon.Admit(q); err != nil {
+			t.Fatalf("re-attestation %d flagged: %v", i, err)
+		}
+	}
+	if mon.Restarts(e.Measurement()) != 1 {
+		t.Fatalf("Restarts = %d, want 1", mon.Restarts(e.Measurement()))
+	}
+}
+
+func TestRestartMonitorRejectsForgedQuotes(t *testing.T) {
+	r := newRig(t)
+	mon := NewRestartMonitor(r.cpu, 2)
+	e, _ := r.buildEnclave(t, 0, 1)
+	q, _ := r.cpu.EREPORT(e, nil)
+	q.EnclaveID = 999 // OS fakes a different instance
+	if err := mon.Admit(q); !errors.Is(err, ErrQuoteForged) {
+		t.Fatalf("forged instance admitted: %v", err)
+	}
+}

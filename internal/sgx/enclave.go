@@ -1,0 +1,201 @@
+package sgx
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+
+	"autarky/internal/mmu"
+	"autarky/internal/pagestore"
+)
+
+// Runtime is the trusted software loaded at the enclave's attested entry
+// point. EENTER vectors to OnEntry; the runtime dispatches on TCS.CSSA():
+// zero means a fresh call (run the application), non-zero means an
+// exception frame is on the SSA stack (run the fault handler).
+//
+// Autarky's self-paging runtime (internal/core) implements this interface.
+type Runtime interface {
+	OnEntry(tcs *TCS)
+}
+
+// Enclave is the trusted per-enclave state: the SECS fields the model
+// needs, the measurement, the sealing identity and the paging version
+// counters (modelling SGX's version-array pages).
+type Enclave struct {
+	ID   uint64
+	Base mmu.VAddr // ELRANGE start (page aligned)
+	Size uint64    // ELRANGE length in bytes (multiple of page size)
+
+	Attrs Attributes
+
+	// Runtime is the trusted entry-point dispatcher, set before EINIT.
+	Runtime Runtime
+
+	initialized bool
+	dead        bool
+	deadReason  TerminationReason
+	deadDetail  string
+
+	measuring   [32]byte // running measurement state (chained hashes)
+	measurement [32]byte // final after EINIT
+
+	sealer *pagestore.Sealer
+
+	// versions holds the per-page eviction version counters, modelling the
+	// trusted VA-page chain that gives EWB/ELDU replay protection.
+	versions map[uint64]uint64 // vpn -> version
+
+	// swappedPerms records the EPCM permissions of evicted pages so ELDU
+	// restores them exactly (modelling the sealed PCMD metadata).
+	swappedPerms map[uint64]mmu.Perms // vpn -> perms
+
+	// trackEpoch advances on ETRACK; shootdownEpoch records the last epoch
+	// for which the OS completed a TLB shootdown round.
+	trackEpoch     uint64
+	shootdownEpoch uint64
+
+	tcss map[uint64]*TCS
+}
+
+// Contains reports whether va lies in the enclave's ELRANGE.
+func (e *Enclave) Contains(va mmu.VAddr) bool {
+	return va >= e.Base && uint64(va-e.Base) < e.Size
+}
+
+// Initialized reports whether EINIT has run.
+func (e *Enclave) Initialized() bool { return e.initialized }
+
+// Dead reports whether the trusted runtime terminated the enclave, and why.
+func (e *Enclave) Dead() (bool, TerminationReason, string) {
+	return e.dead, e.deadReason, e.deadDetail
+}
+
+// Measurement returns the enclave's MRENCLAVE-like identity. It is only
+// valid after EINIT.
+func (e *Enclave) Measurement() [32]byte { return e.measurement }
+
+// TCS returns the thread control structure with the given ID.
+func (e *Enclave) TCS(id uint64) *TCS { return e.tcss[id] }
+
+// Version returns the current anti-replay version for a page.
+func (e *Enclave) Version(va mmu.VAddr) uint64 { return e.versions[va.VPN()] }
+
+// SelfPaging reports whether the Autarky attribute is set.
+func (e *Enclave) SelfPaging() bool { return e.Attrs.Has(AttrSelfPaging) }
+
+func (e *Enclave) extendMeasurement(tag string, data []byte) {
+	h := sha256.New()
+	h.Write(e.measuring[:])
+	h.Write([]byte(tag))
+	h.Write(data)
+	copy(e.measuring[:], h.Sum(nil))
+}
+
+// Terminate marks the enclave dead. Only the trusted runtime (via
+// CPU.Terminate) and EINIT-failure paths use it.
+func (e *Enclave) terminate(reason TerminationReason, detail string) {
+	if e.dead {
+		return
+	}
+	e.dead = true
+	e.deadReason = reason
+	e.deadDetail = detail
+}
+
+// ECREATE creates an enclave covering [base, base+size) with the given
+// attributes, allocating its identity from the CPU's enclave-ID counter.
+// It is the first step of the build flow ECREATE → EADD* → EINIT.
+func (c *CPU) ECREATE(base mmu.VAddr, size uint64, attrs Attributes) (*Enclave, error) {
+	if base.Offset() != 0 || size == 0 || size%mmu.PageSize != 0 {
+		return nil, fmt.Errorf("%w: ELRANGE %s+%d not page aligned", ErrBadAddress, base, size)
+	}
+	c.nextEnclaveID++
+	e := &Enclave{
+		ID:       c.nextEnclaveID,
+		Base:     base,
+		Size:     size,
+		Attrs:    attrs,
+		versions: make(map[uint64]uint64),
+		tcss:     make(map[uint64]*TCS),
+	}
+	var hdr [24]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], uint64(base))
+	binary.LittleEndian.PutUint64(hdr[8:16], size)
+	binary.LittleEndian.PutUint64(hdr[16:24], uint64(attrs))
+	e.extendMeasurement("ECREATE", hdr[:])
+	sealer, err := pagestore.NewSealer(c.rootSecret, e.ID)
+	if err != nil {
+		return nil, err
+	}
+	e.sealer = sealer
+	c.enclaves[e.ID] = e
+	return e, nil
+}
+
+// EADD populates one initial enclave page before EINIT: it allocates an EPC
+// frame, copies content, sets the EPCM entry and extends the measurement.
+// The caller (the OS loader) must also map va→pfn in the page table; the
+// returned PFN is for that purpose.
+func (c *CPU) EADD(e *Enclave, va mmu.VAddr, content []byte, perms mmu.Perms, typ PageType) (mmu.PFN, error) {
+	if e.initialized {
+		return mmu.NoPFN, fmt.Errorf("%w: EADD after EINIT", ErrEPCMConflict)
+	}
+	if !e.Contains(va) || va.Offset() != 0 {
+		return mmu.NoPFN, fmt.Errorf("%w: EADD at %s", ErrBadAddress, va)
+	}
+	if len(content) > mmu.PageSize {
+		return mmu.NoPFN, fmt.Errorf("sgx: EADD content %d bytes exceeds page", len(content))
+	}
+	pfn, err := c.EPC.Alloc()
+	if err != nil {
+		return mmu.NoPFN, err
+	}
+	f := c.EPC.Entry(pfn)
+	copy(f.Data, content)
+	f.EPCM = EPCMEntry{
+		Valid:     true,
+		Type:      typ,
+		EnclaveID: e.ID,
+		LinAddr:   va,
+		Perms:     perms,
+	}
+	var meta [16]byte
+	binary.LittleEndian.PutUint64(meta[0:8], uint64(va))
+	binary.LittleEndian.PutUint64(meta[8:16], uint64(perms)|uint64(typ)<<32)
+	e.extendMeasurement("EADD", meta[:])
+	e.extendMeasurement("EEXTEND", f.Data)
+	c.Clock.Advance(c.Costs.EAUG) // EADD cost ≈ EAUG in the model
+	return pfn, nil
+}
+
+// AddTCS provisions a thread control structure with nssa SSA frames.
+// Architecturally a TCS occupies an EPC page added with EADD; the model
+// keeps the structure separate and measures its parameters.
+func (c *CPU) AddTCS(e *Enclave, nssa int) (*TCS, error) {
+	if e.initialized {
+		return nil, fmt.Errorf("%w: AddTCS after EINIT", ErrEPCMConflict)
+	}
+	id := uint64(len(e.tcss) + 1)
+	t := NewTCS(id, nssa)
+	e.tcss[id] = t
+	var meta [16]byte
+	binary.LittleEndian.PutUint64(meta[0:8], id)
+	binary.LittleEndian.PutUint64(meta[8:16], uint64(nssa))
+	e.extendMeasurement("EADD-TCS", meta[:])
+	return t, nil
+}
+
+// EINIT finalizes the measurement and makes the enclave executable.
+func (c *CPU) EINIT(e *Enclave) error {
+	if e.initialized {
+		return fmt.Errorf("%w: double EINIT", ErrEPCMConflict)
+	}
+	if e.Runtime == nil {
+		return fmt.Errorf("sgx: EINIT without a runtime entry point")
+	}
+	e.extendMeasurement("EINIT", nil)
+	e.measurement = e.measuring
+	e.initialized = true
+	return nil
+}

@@ -1,0 +1,139 @@
+package sgx
+
+import (
+	"fmt"
+
+	"autarky/internal/mmu"
+)
+
+// PageType is the EPCM page type.
+type PageType uint8
+
+// EPCM page types (subset relevant to the model).
+const (
+	// PTReg is a regular enclave page.
+	PTReg PageType = iota
+	// PTTCS is a thread control structure page.
+	PTTCS
+	// PTTrim marks a page scheduled for removal (SGXv2 EMODT target).
+	PTTrim
+)
+
+// String names the page type.
+func (t PageType) String() string {
+	switch t {
+	case PTReg:
+		return "REG"
+	case PTTCS:
+		return "TCS"
+	case PTTrim:
+		return "TRIM"
+	default:
+		return fmt.Sprintf("PageType(%d)", uint8(t))
+	}
+}
+
+// EPCMEntry is the trusted per-frame metadata SGX consults after every
+// enclave-mode page walk (paper §2.1 "Memory management"). It lives in
+// secure memory the OS cannot touch; the OS can only change it through the
+// SGX instructions.
+type EPCMEntry struct {
+	Valid     bool
+	Type      PageType
+	EnclaveID uint64
+	LinAddr   mmu.VAddr // the one linear address the frame may be mapped at
+	Perms     mmu.Perms // maximal permissions (EPCM R/W/X)
+	// Blocked is set by EBLOCK as the first step of eviction; a blocked
+	// page faults on access.
+	Blocked bool
+	// Pending is set by EAUG until the enclave EACCEPTs the page.
+	Pending bool
+	// PR ("permissions restricted") is set by EMODPR until EACCEPT.
+	PR bool
+	// Modified is set by EMODT until EACCEPT.
+	Modified bool
+	// blockEpoch records the tracking epoch at EBLOCK time, for the
+	// ETRACK/EWB handshake.
+	blockEpoch uint64
+}
+
+// Frame is one 4 KiB EPC frame plus its EPCM entry.
+type Frame struct {
+	Data []byte
+	EPCM EPCMEntry
+}
+
+// EPC is the enclave page cache: a fixed pool of protected frames. Frames
+// are addressed by PFN within [Base, Base+NumFrames).
+type EPC struct {
+	Base   mmu.PFN
+	frames []Frame
+	free   []uint32 // free frame indexes (LIFO)
+}
+
+// NewEPC creates an EPC of n frames whose PFNs start at base. base must be
+// non-zero so that mmu.NoPFN is never a valid EPC frame.
+func NewEPC(base mmu.PFN, n int) *EPC {
+	if base == mmu.NoPFN {
+		panic("sgx: EPC base must be non-zero")
+	}
+	if n <= 0 {
+		panic("sgx: EPC must have at least one frame")
+	}
+	e := &EPC{Base: base, frames: make([]Frame, n), free: make([]uint32, 0, n)}
+	for i := n - 1; i >= 0; i-- {
+		// Frame data is allocated lazily on first Alloc: a large EPC costs
+		// nothing until used.
+		e.free = append(e.free, uint32(i))
+	}
+	return e
+}
+
+// NumFrames reports the EPC capacity in frames.
+func (e *EPC) NumFrames() int { return len(e.frames) }
+
+// FreeFrames reports how many frames are unallocated.
+func (e *EPC) FreeFrames() int { return len(e.free) }
+
+// Contains reports whether pfn lies inside the EPC.
+func (e *EPC) Contains(pfn mmu.PFN) bool {
+	return pfn >= e.Base && pfn < e.Base+mmu.PFN(len(e.frames))
+}
+
+// Alloc takes a free frame, zeroes it, and returns its PFN.
+func (e *EPC) Alloc() (mmu.PFN, error) {
+	if len(e.free) == 0 {
+		return mmu.NoPFN, ErrEPCFull
+	}
+	i := e.free[len(e.free)-1]
+	e.free = e.free[:len(e.free)-1]
+	f := &e.frames[i]
+	if f.Data == nil {
+		f.Data = make([]byte, mmu.PageSize)
+	} else {
+		for j := range f.Data {
+			f.Data[j] = 0
+		}
+	}
+	f.EPCM = EPCMEntry{}
+	return e.Base + mmu.PFN(i), nil
+}
+
+// Free invalidates the EPCM entry and returns the frame to the pool.
+func (e *EPC) Free(pfn mmu.PFN) {
+	f := e.Entry(pfn)
+	f.EPCM = EPCMEntry{}
+	e.free = append(e.free, uint32(pfn-e.Base))
+}
+
+// Entry returns the frame structure for pfn. It panics on a non-EPC PFN;
+// callers must check Contains first when the PFN is untrusted.
+func (e *EPC) Entry(pfn mmu.PFN) *Frame {
+	if !e.Contains(pfn) {
+		panic(fmt.Sprintf("sgx: PFN %d outside EPC", pfn))
+	}
+	return &e.frames[pfn-e.Base]
+}
+
+// Data returns the frame contents for pfn.
+func (e *EPC) Data(pfn mmu.PFN) []byte { return e.Entry(pfn).Data }

@@ -1,0 +1,70 @@
+package sgx
+
+import (
+	"fmt"
+
+	"autarky/internal/mmu"
+)
+
+// RegularMemory models untrusted DRAM outside the EPC: the pool the OS maps
+// for ordinary application pages, exitless-call buffers and the encrypted
+// backing store. Frames are allocated lazily.
+type RegularMemory struct {
+	base   mmu.PFN
+	next   mmu.PFN
+	frames map[mmu.PFN][]byte
+	free   []mmu.PFN
+}
+
+// NewRegularMemory returns a pool whose PFNs start at base. The base must
+// not overlap the EPC range; the standard machine wiring places regular
+// memory far above it.
+func NewRegularMemory(base mmu.PFN) *RegularMemory {
+	if base == mmu.NoPFN {
+		panic("sgx: regular memory base must be non-zero")
+	}
+	return &RegularMemory{base: base, next: base, frames: make(map[mmu.PFN][]byte)}
+}
+
+// Alloc returns a zeroed frame.
+func (m *RegularMemory) Alloc() mmu.PFN {
+	if n := len(m.free); n > 0 {
+		pfn := m.free[n-1]
+		m.free = m.free[:n-1]
+		data := m.frames[pfn]
+		for i := range data {
+			data[i] = 0
+		}
+		return pfn
+	}
+	pfn := m.next
+	m.next++
+	m.frames[pfn] = make([]byte, mmu.PageSize)
+	return pfn
+}
+
+// Free returns a frame to the pool.
+func (m *RegularMemory) Free(pfn mmu.PFN) {
+	if _, ok := m.frames[pfn]; !ok {
+		panic(fmt.Sprintf("sgx: freeing unknown regular frame %d", pfn))
+	}
+	m.free = append(m.free, pfn)
+}
+
+// Contains reports whether pfn belongs to this pool.
+func (m *RegularMemory) Contains(pfn mmu.PFN) bool {
+	_, ok := m.frames[pfn]
+	return ok
+}
+
+// Data returns the frame contents.
+func (m *RegularMemory) Data(pfn mmu.PFN) []byte {
+	d, ok := m.frames[pfn]
+	if !ok {
+		panic(fmt.Sprintf("sgx: access to unmapped regular frame %d", pfn))
+	}
+	return d
+}
+
+// Allocated reports the number of live frames.
+func (m *RegularMemory) Allocated() int { return len(m.frames) - len(m.free) }

@@ -1,0 +1,207 @@
+package sgx
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"autarky/internal/mmu"
+	"autarky/internal/sim"
+)
+
+// This file property-tests the pending-exception protocol (§5.1.3), the
+// core of the defense: across randomized adversarial OS strategies, there
+// is NO interleaving of OS actions that resumes a self-paging enclave past
+// an enclave-region page fault without first entering the trusted handler.
+
+// chaosOS is a randomized adversarial fault handler: on each fault it
+// performs a random sequence of actions (resume attempts, PTE repairs,
+// spurious entries) and records whether a silent resume ever succeeded
+// before the trusted handler ran.
+type chaosOS struct {
+	rig *testRig
+	rng *sim.Rand
+
+	target mmu.VAddr
+
+	// handlerRan is set by the enclave runtime when its exception path runs.
+	handlerRan bool
+	// silentResume records a successful ERESUME before handlerRan.
+	silentResume bool
+	// gaveUp aborts strategies that never repair the page.
+	gaveUp bool
+}
+
+func (c *chaosOS) HandlePageFault(cpu *CPU, e *Enclave, tcs *TCS, f *mmu.Fault) error {
+	for step := 0; step < 40; step++ {
+		switch c.rng.Intn(6) {
+		case 0, 1: // try the silent resume
+			err := cpu.ERESUME(e, tcs)
+			if err == nil {
+				if !c.handlerRan {
+					c.silentResume = true
+				}
+				return nil
+			}
+			if !errors.Is(err, ErrPendingException) {
+				return err
+			}
+		case 2: // repair the PTE (with A/D, as the driver would)
+			c.rig.pt.SetAD(c.target, true)
+			c.rig.pt.SetPresent(c.target, true)
+		case 3: // break it again
+			c.rig.pt.SetPresent(c.target, false)
+			c.rig.tlb.Invalidate(c.target)
+		case 4: // clear the A bit
+			c.rig.pt.ClearAccessed(c.target)
+			c.rig.tlb.Invalidate(c.target)
+		case 5: // enter the enclave (legitimately runs the handler)
+			c.rig.pt.SetAD(c.target, true)
+			c.rig.pt.SetPresent(c.target, true)
+			if err := cpu.EEnter(e, tcs); err != nil {
+				return err
+			}
+			if err := cpu.ERESUME(e, tcs); err == nil {
+				return nil
+			} else if !errors.Is(err, ErrPendingException) {
+				return err
+			}
+		}
+	}
+	// Strategy failed to make progress: repair and do the honest dance so
+	// the run terminates.
+	c.gaveUp = true
+	c.rig.pt.SetAD(c.target, true)
+	c.rig.pt.SetPresent(c.target, true)
+	if err := cpu.EEnter(e, tcs); err != nil {
+		return err
+	}
+	return cpu.ERESUME(e, tcs)
+}
+
+func (c *chaosOS) HandleTimer(cpu *CPU, e *Enclave, tcs *TCS) error {
+	return cpu.ERESUME(e, tcs)
+}
+
+// chaosRuntime marks handler entries; it does not terminate (the property
+// under test is the hardware protocol, not the runtime policy).
+type chaosRuntime struct {
+	c   *chaosOS
+	app func()
+}
+
+func (r *chaosRuntime) OnEntry(tcs *TCS) {
+	if tcs.CSSA() > 0 {
+		if frame, ok := tcs.TopSSA(); ok && frame.Exit.Valid {
+			r.c.handlerRan = true
+		}
+		return
+	}
+	if r.app != nil {
+		f := r.app
+		r.app = nil
+		f()
+	}
+}
+
+func TestNoSilentResumePropertyUnderChaosOS(t *testing.T) {
+	check := func(seed uint64) bool {
+		rig := newRig(t)
+		chaos := &chaosOS{rig: rig, rng: sim.NewRand(seed)}
+		rig.cpu.OS = chaos
+
+		e, err := rig.cpu.ECREATE(rigBase, 2*mmu.PageSize, AttrSelfPaging)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt := &chaosRuntime{c: chaos}
+		e.Runtime = rt
+		for i := 0; i < 2; i++ {
+			va := rigBase + mmu.VAddr(i*mmu.PageSize)
+			pfn, err := rig.cpu.EADD(e, va, nil, mmu.PermRW, PTReg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rig.pt.MapAD(va, pfn, mmu.PermRW, true, true, true)
+		}
+		tcs, err := rig.cpu.AddTCS(e, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rig.cpu.EINIT(e); err != nil {
+			t.Fatal(err)
+		}
+
+		target := rigBase + mmu.PageSize
+		chaos.target = target
+		var accessErr error
+		rt.app = func() {
+			// The OS breaks the page mid-run; the victim then accesses it.
+			rig.pt.SetPresent(target, false)
+			rig.tlb.Invalidate(target)
+			accessErr = rig.cpu.Touch(target, mmu.AccessRead)
+		}
+		if err := rig.cpu.EEnter(e, tcs); err != nil {
+			return false
+		}
+		if accessErr != nil {
+			return false
+		}
+		// THE PROPERTY: the access only ever completes after the trusted
+		// handler ran; no strategy achieved a silent resume.
+		if chaos.silentResume {
+			t.Logf("seed %d: silent resume succeeded", seed)
+			return false
+		}
+		if !chaos.handlerRan {
+			t.Logf("seed %d: access completed without the handler running", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLegacyEnclaveAllowsSilentResumeUnderChaosOS(t *testing.T) {
+	// The control: the same adversary against a legacy enclave succeeds
+	// silently (that asymmetry IS the paper).
+	rig := newRig(t)
+	chaos := &chaosOS{rig: rig, rng: sim.NewRand(7)}
+	rig.cpu.OS = chaos
+
+	e, err := rig.cpu.ECREATE(rigBase, 2*mmu.PageSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := &chaosRuntime{c: chaos}
+	e.Runtime = rt
+	for i := 0; i < 2; i++ {
+		va := rigBase + mmu.VAddr(i*mmu.PageSize)
+		pfn, _ := rig.cpu.EADD(e, va, nil, mmu.PermRW, PTReg)
+		rig.pt.Map(va, pfn, mmu.PermRW, true)
+	}
+	tcs, _ := rig.cpu.AddTCS(e, 8)
+	if err := rig.cpu.EINIT(e); err != nil {
+		t.Fatal(err)
+	}
+	target := rigBase + mmu.PageSize
+	chaos.target = target
+	rt.app = func() {
+		rig.pt.SetPresent(target, false)
+		rig.tlb.Invalidate(target)
+		if err := rig.cpu.Touch(target, mmu.AccessRead); err != nil {
+			t.Errorf("access: %v", err)
+		}
+	}
+	if err := rig.cpu.EEnter(e, tcs); err != nil {
+		t.Fatal(err)
+	}
+	if !chaos.silentResume {
+		t.Fatal("legacy enclave blocked the silent resume?!")
+	}
+	// (The adversary may also have chosen to EENTER at some point — legal on
+	// legacy SGX too — but the silent resume is what the attack needs, and
+	// nothing forced the handler to run before it.)
+}

@@ -1,0 +1,57 @@
+// Package sim provides the deterministic simulation substrate shared by the
+// whole Autarky model: a logical cycle clock, the calibrated cost model for
+// SGX and MMU operations, and a reproducible random-number source.
+//
+// All performance results in this repository are ratios of cycle counts
+// accumulated on a Clock. The simulation is fully deterministic: two runs
+// with the same seed and parameters produce byte-identical results.
+package sim
+
+import "fmt"
+
+// Clock is a monotonic logical cycle counter. It is the only notion of time
+// in the simulation; wall-clock time is never consulted.
+//
+// Clock is not safe for concurrent use. The simulated machine is a single
+// logical hart (matching the paper's single-thread evaluation of the
+// runtime); workload-level concurrency is modelled by interleaving, not by
+// goroutines mutating a shared clock.
+type Clock struct {
+	cycles uint64
+}
+
+// NewClock returns a clock at cycle zero.
+func NewClock() *Clock { return &Clock{} }
+
+// Advance adds n cycles to the clock.
+func (c *Clock) Advance(n uint64) { c.cycles += n }
+
+// Cycles reports the current cycle count.
+func (c *Clock) Cycles() uint64 { return c.cycles }
+
+// Reset rewinds the clock to zero.
+func (c *Clock) Reset() { c.cycles = 0 }
+
+// Since reports the cycles elapsed since the given earlier reading.
+// It panics if start is in the future, which always indicates a bug in the
+// caller (readings from a different clock or a missed Reset).
+func (c *Clock) Since(start uint64) uint64 {
+	if start > c.cycles {
+		panic(fmt.Sprintf("sim: Since(%d) with clock at %d", start, c.cycles))
+	}
+	return c.cycles - start
+}
+
+// Stopwatch measures a span of cycles on a clock.
+type Stopwatch struct {
+	clock *Clock
+	start uint64
+}
+
+// NewStopwatch starts measuring from the clock's current cycle.
+func NewStopwatch(c *Clock) Stopwatch {
+	return Stopwatch{clock: c, start: c.Cycles()}
+}
+
+// Elapsed reports cycles since the stopwatch was created.
+func (s Stopwatch) Elapsed() uint64 { return s.clock.Since(s.start) }

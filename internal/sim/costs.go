@@ -1,0 +1,109 @@
+package sim
+
+// Costs is the calibrated cycle cost model for the simulated machine.
+//
+// The constants are chosen to reproduce the component breakdown of the
+// paper's Figure 5 (paging latency ≈ 25k–31k cycles per page, of which
+// 40–50% is enclave preemption + fault-handler invocation) and the SGX
+// transition costs the paper cites: an enclave exception handler costs more
+// than 6× a signal handler, EENTER/EEXIT and AEX/ERESUME pairs cost several
+// thousand cycles each, and EWB/ELDU include AES-128 work over a 4 KiB page.
+//
+// Absolute values are a model; every experiment reports ratios between runs
+// under the identical model, mirroring the paper's own relative methodology.
+type Costs struct {
+	// Core memory system.
+	TLBHit        uint64 // hit in the TLB
+	PTWalkLevel   uint64 // one level of the 4-level page-table walk
+	ADWriteback   uint64 // setting accessed/dirty bits during a walk
+	ADCheck       uint64 // Autarky's A/D-must-be-set check on enclave PTE fetch (paper: pessimistic 10 cycles)
+	MemAccess     uint64 // the data access itself (cache-line granularity abstracted away)
+	TLBShootdown  uint64 // remote TLB invalidation (IPI round)
+	TLBFlushLocal uint64 // full local TLB flush (on enclave entry/exit)
+
+	// Enclave transitions.
+	EENTER  uint64
+	EEXIT   uint64
+	AEX     uint64 // asynchronous exit: save SSA, scrub registers, exit
+	ERESUME uint64
+
+	// OS work.
+	OSFaultEntry  uint64 // trap into the kernel fault handler
+	OSFaultWork   uint64 // kernel bookkeeping per fault (vma lookup etc.)
+	SyscallRound  uint64 // classic ocall-style syscall round trip (unused with exitless calls)
+	ExitlessCall  uint64 // exitless host call (shared-memory request; paper §6)
+	UpcallDeliver uint64 // delivering the fault into the enclave handler stack
+
+	// SGX paging instructions (per 4 KiB page).
+	EWB    uint64 // evict: encrypt+MAC+version, write to untrusted memory
+	ELDU   uint64 // load: fetch, decrypt, verify, install in EPC
+	EBLOCK uint64
+	ETRACK uint64
+
+	// SGXv2 dynamic memory instructions (per page).
+	EAUG        uint64
+	EACCEPT     uint64
+	EACCEPTCOPY uint64
+	EMODPR      uint64
+	EMODT       uint64
+	EREMOVE     uint64
+
+	// Software crypto inside the enclave (SGXv2 self-paging path encrypts in
+	// software with AES-NI; per 4 KiB page).
+	SWEncryptPage uint64
+	SWDecryptPage uint64
+
+	// Oblivious-RAM primitive costs.
+	ObliviousWordScan uint64 // one CMOV-style oblivious compare+select per word
+	ORAMBlockMove     uint64 // move+re-encrypt one 4 KiB block along a path
+	ORAMCacheLookup   uint64 // hit-path lookup in the enclave-managed cache
+}
+
+// DefaultCosts returns the calibrated model used by all experiments.
+func DefaultCosts() Costs {
+	return Costs{
+		TLBHit:        1,
+		PTWalkLevel:   25,
+		ADWriteback:   15,
+		ADCheck:       10,
+		MemAccess:     4,
+		TLBShootdown:  1200,
+		TLBFlushLocal: 300,
+
+		EENTER:  3200,
+		EEXIT:   3300,
+		AEX:     3400,
+		ERESUME: 3600,
+
+		OSFaultEntry: 600,
+		OSFaultWork:  900,
+		SyscallRound: 3000,
+		ExitlessCall: 700,
+		// UpcallDeliver is the elided-AEX fault delivery (§5.1.3): the SSA
+		// state save still happens in microcode; only the exit, the OS
+		// round trip and the re-entry are skipped.
+		UpcallDeliver: 2600,
+
+		EWB:    7200,
+		ELDU:   6800,
+		EBLOCK: 250,
+		ETRACK: 300,
+
+		EAUG:        900,
+		EACCEPT:     1100,
+		EACCEPTCOPY: 1500,
+		EMODPR:      900,
+		EMODT:       900,
+		EREMOVE:     700,
+
+		SWEncryptPage: 2600,
+		SWDecryptPage: 2600,
+
+		// One oblivious posmap/stash entry visit in uncached mode: CMOV
+		// select plus amortized decryption of the sealed entry stream.
+		ObliviousWordScan: 48,
+		// Moving one 4 KiB block along a PathORAM path re-encrypts it.
+		ORAMBlockMove:   3000,
+		ORAMCacheLookup: 40,
+	}
+}

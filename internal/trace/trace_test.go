@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"testing"
+
+	"autarky/internal/mmu"
+)
+
+func mkLog(vpns ...uint64) *Log {
+	l := &Log{}
+	for _, v := range vpns {
+		l.Add(Event{Addr: mmu.PageOf(v)})
+	}
+	return l
+}
+
+func TestLogBasics(t *testing.T) {
+	l := mkLog(1, 2, 1)
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	pages := l.Pages()
+	if len(pages) != 3 || pages[0] != 1 || pages[1] != 2 || pages[2] != 1 {
+		t.Fatalf("Pages = %v", pages)
+	}
+	l.Reset()
+	if l.Len() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestDistinctPagesSorted(t *testing.T) {
+	l := mkLog(5, 1, 5, 3)
+	got := l.DistinctPages()
+	want := []uint64{1, 3, 5}
+	if len(got) != len(want) {
+		t.Fatalf("DistinctPages = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("DistinctPages = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSignatureDistinguishesOrder(t *testing.T) {
+	if mkLog(1, 2).Signature() == mkLog(2, 1).Signature() {
+		t.Fatal("signature ignores order")
+	}
+	if mkLog(1, 2).Signature() != mkLog(1, 2).Signature() {
+		t.Fatal("signature not deterministic")
+	}
+	if mkLog().Signature() != "" {
+		t.Fatal("empty log signature not empty")
+	}
+}
+
+func TestSubsequenceOf(t *testing.T) {
+	full := mkLog(1, 2, 3, 4, 5)
+	if !mkLog(2, 4).SubsequenceOf(full) {
+		t.Fatal("valid subsequence rejected")
+	}
+	if mkLog(4, 2).SubsequenceOf(full) {
+		t.Fatal("out-of-order subsequence accepted")
+	}
+	if !mkLog().SubsequenceOf(full) {
+		t.Fatal("empty subsequence rejected")
+	}
+	if mkLog(9).SubsequenceOf(full) {
+		t.Fatal("absent page accepted")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for _, k := range []Kind{KindFault, KindAccessedBit, KindDirtyBit, KindGroundTruth} {
+		if k.String() == "" {
+			t.Errorf("kind %d unnamed", k)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package workloads
+
+import (
+	"fmt"
+
+	"autarky/internal/core"
+	"autarky/internal/libos"
+	"autarky/internal/mmu"
+	"autarky/internal/sim"
+)
+
+// FreeType models the font-rendering victim: each glyph is rendered by a
+// dedicated code path, so the sequence of executed code pages reveals the
+// text ("the original attack leaked rendered text by observing control flow
+// via code fetches", §7.3). The glyph set covers printable ASCII.
+//
+// To build it, give the process image a library produced by FreeTypeLibrary
+// (one function page per glyph plus shared rasterizer pages).
+type FreeType struct {
+	lib     libos.Region
+	glyphs  map[rune]mmu.VAddr // glyph -> its function's code page
+	shared  []mmu.VAddr        // rasterizer core, executed for every glyph
+	out     []mmu.VAddr        // output bitmap pages
+	OutPage int
+	clock   *sim.Clock
+	// RasterCycles models the per-glyph rasterization arithmetic.
+	RasterCycles uint64
+}
+
+// FreeTypeGlyphs is the supported glyph set (printable ASCII).
+const FreeTypeGlyphs = 95 // ' ' .. '~'
+
+// FreeTypeLibrary returns the library image for the renderer: a shared
+// rasterizer of sharedPages plus one function page per glyph.
+func FreeTypeLibrary(sharedPages int) libos.Library {
+	return FreeTypeLibraryNamed("libfreetype.so", sharedPages)
+}
+
+// FreeTypeLibraryNamed is FreeTypeLibrary with an explicit library name
+// (multi-font images load several).
+func FreeTypeLibraryNamed(name string, sharedPages int) libos.Library {
+	funcs := []libos.Function{{Name: "raster_core", Pages: sharedPages}}
+	for g := 0; g < FreeTypeGlyphs; g++ {
+		funcs = append(funcs, libos.Function{Name: fmt.Sprintf("glyph_%02x", g+0x20), Pages: 1})
+	}
+	return libos.Library{Name: name, Funcs: funcs}
+}
+
+// BuildFreeType wires the renderer over the default library region.
+func BuildFreeType(p *libos.Process, outPages int) (*FreeType, error) {
+	return BuildFreeTypeFrom(p, "libfreetype.so", outPages)
+}
+
+// BuildFreeTypeFrom wires the renderer over a named font library region and
+// allocates output bitmap pages.
+func BuildFreeTypeFrom(p *libos.Process, libName string, outPages int) (*FreeType, error) {
+	r, ok := p.Code[libName]
+	if !ok {
+		return nil, fmt.Errorf("workloads: image lacks %s", libName)
+	}
+	sharedPages := r.Pages - FreeTypeGlyphs
+	if sharedPages < 1 {
+		return nil, fmt.Errorf("workloads: libfreetype.so region too small (%d pages)", r.Pages)
+	}
+	ft := &FreeType{
+		lib:          r,
+		glyphs:       make(map[rune]mmu.VAddr, FreeTypeGlyphs),
+		clock:        p.Kernel.Clock,
+		RasterCycles: 16000,
+	}
+	for i := 0; i < sharedPages; i++ {
+		ft.shared = append(ft.shared, r.Page(i))
+	}
+	for g := 0; g < FreeTypeGlyphs; g++ {
+		ft.glyphs[rune(g+0x20)] = r.Page(sharedPages + g)
+	}
+	out, err := p.Alloc.AllocPages(outPages)
+	if err != nil {
+		return nil, err
+	}
+	ft.out = out
+	return ft, nil
+}
+
+// GlyphPage returns the code page rendering glyph g — the attacker's
+// offline knowledge (the binary is public).
+func (f *FreeType) GlyphPage(g rune) (mmu.VAddr, bool) {
+	va, ok := f.glyphs[g]
+	return va, ok
+}
+
+// GlyphPages returns all glyph function pages.
+func (f *FreeType) GlyphPages() []mmu.VAddr {
+	out := make([]mmu.VAddr, 0, len(f.glyphs))
+	for g := rune(0x20); g < 0x20+FreeTypeGlyphs; g++ {
+		out = append(out, f.glyphs[g])
+	}
+	return out
+}
+
+// Render draws one rune: execute the shared rasterizer, the glyph's
+// function page, and write the output bitmap.
+func (f *FreeType) Render(ctx *core.Context, g rune) error {
+	page, ok := f.glyphs[g]
+	if !ok {
+		return fmt.Errorf("workloads: glyph %q not in font", g)
+	}
+	ctx.Exec(f.shared[0])
+	ctx.Exec(page)
+	f.clock.Advance(f.RasterCycles)
+	ctx.Store(f.out[f.OutPage%len(f.out)])
+	f.OutPage++
+	return nil
+}
+
+// RenderText draws a string, reporting per-glyph progress.
+func (f *FreeType) RenderText(ctx *core.Context, text string) error {
+	for _, g := range text {
+		if err := f.Render(ctx, g); err != nil {
+			return err
+		}
+		ctx.Progress(1)
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+package workloads
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"autarky/internal/core"
+	"autarky/internal/libos"
+	"autarky/internal/mmu"
+)
+
+// Hunspell models the spell-checking server of §7.3: per-language
+// dictionaries stored as chained hash tables. A query hashes the word and
+// walks the bucket's chain — a secret-dependent page access that Xu et al.
+// exploited to recover the words being checked (each word's unique page
+// access signature identifies it).
+type Hunspell struct {
+	Dicts map[string]*Dictionary
+}
+
+// Dictionary is one language's hash table.
+type Dictionary struct {
+	Lang    string
+	Words   []string
+	Buckets int
+	// pages holds the bucket/chain storage; bucket b lives on page
+	// pages[b % len(pages)] with its chain nodes spread over subsequent
+	// pages (chain node i of bucket b on pages[(b+i) % len(pages)]).
+	pages       []mmu.VAddr
+	wordsPerBkt map[int][]string
+	maxChain    int
+}
+
+// HunspellConfig sizes the spell checker.
+type HunspellConfig struct {
+	Langs        []string
+	WordsPerDict int
+	// BucketsPerDict controls chain length (words/buckets).
+	BucketsPerDict int
+	// PagesPerDict is each dictionary's storage footprint.
+	PagesPerDict int
+}
+
+// Word synthesizes the i'th dictionary word for a language,
+// deterministically (the attacker knows the public dictionary).
+func Word(lang string, i int) string { return fmt.Sprintf("%s-word-%05d", lang, i) }
+
+func hashWord(w string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(w))
+	return h.Sum32()
+}
+
+// BuildHunspell allocates and populates the dictionaries from the process
+// heap. Loading touches every dictionary page (the population writes the
+// paper's Table 2 counts as load-time faults).
+func BuildHunspell(p *libos.Process, ctx *core.Context, cfg HunspellConfig) (*Hunspell, error) {
+	h := &Hunspell{Dicts: make(map[string]*Dictionary, len(cfg.Langs))}
+	for _, lang := range cfg.Langs {
+		pages, err := p.Alloc.AllocPages(cfg.PagesPerDict)
+		if err != nil {
+			return nil, err
+		}
+		d := &Dictionary{
+			Lang:        lang,
+			Buckets:     cfg.BucketsPerDict,
+			pages:       pages,
+			wordsPerBkt: make(map[int][]string),
+		}
+		for i := 0; i < cfg.WordsPerDict; i++ {
+			w := Word(lang, i)
+			d.Words = append(d.Words, w)
+			b := int(hashWord(w)) % d.Buckets
+			if b < 0 {
+				b += d.Buckets
+			}
+			d.wordsPerBkt[b] = append(d.wordsPerBkt[b], w)
+			if n := len(d.wordsPerBkt[b]); n > d.maxChain {
+				d.maxChain = n
+			}
+		}
+		// Populate: write every chain node (touches pages like the real
+		// table build).
+		for b, words := range d.wordsPerBkt {
+			for i := range words {
+				ctx.Store(d.nodePage(b, i))
+			}
+		}
+		h.Dicts[lang] = d
+	}
+	return h, nil
+}
+
+// nodePage returns the page holding chain node i of bucket b.
+func (d *Dictionary) nodePage(b, i int) mmu.VAddr {
+	return d.pages[(b+i)%len(d.pages)]
+}
+
+// bucketOf returns the bucket index for a word.
+func (d *Dictionary) bucketOf(word string) int {
+	b := int(hashWord(word)) % d.Buckets
+	if b < 0 {
+		b += d.Buckets
+	}
+	return b
+}
+
+// Pages returns the dictionary's storage pages (for manual clustering:
+// "the pages of each dictionary can each be a separate cluster", §7.3).
+func (d *Dictionary) Pages() []mmu.VAddr { return d.pages }
+
+// AccessTrace returns the exact pages Check(word) touches — the signature
+// the attacker precomputes from the public dictionary.
+func (d *Dictionary) AccessTrace(word string) []mmu.VAddr {
+	b := d.bucketOf(word)
+	chain := d.wordsPerBkt[b]
+	var out []mmu.VAddr
+	for i := 0; i < len(chain); i++ {
+		out = append(out, d.nodePage(b, i))
+		if chain[i] == word {
+			break
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, d.nodePage(b, 0))
+	}
+	return out
+}
+
+// Check spell-checks one word against one language, walking the hash chain.
+func (h *Hunspell) Check(ctx *core.Context, lang, word string) (bool, error) {
+	d, ok := h.Dicts[lang]
+	if !ok {
+		return false, fmt.Errorf("workloads: no dictionary %q", lang)
+	}
+	b := d.bucketOf(word)
+	chain := d.wordsPerBkt[b]
+	if len(chain) == 0 {
+		ctx.Load(d.nodePage(b, 0)) // empty bucket head
+		return false, nil
+	}
+	for i, w := range chain {
+		ctx.Load(d.nodePage(b, i))
+		if w == word {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// CheckText spell-checks a whole text, reporting progress per word (the
+// libOS's progress measure for rate limiting).
+func (h *Hunspell) CheckText(ctx *core.Context, lang string, words []string) (int, error) {
+	correct := 0
+	for _, w := range words {
+		ok, err := h.Check(ctx, lang, w)
+		if err != nil {
+			return correct, err
+		}
+		if ok {
+			correct++
+		}
+		ctx.Progress(1)
+	}
+	return correct, nil
+}

@@ -1,0 +1,198 @@
+package workloads
+
+import (
+	"autarky/internal/core"
+	"autarky/internal/mmu"
+	"autarky/internal/sim"
+)
+
+// This file reimplements the access-pattern kernels of the BYTE nbench
+// suite used for the architecture-overhead analysis (§7 "Overhead from SGX
+// architecture changes"): datasets fit in EPC, so the only Autarky cost is
+// the A/D check on TLB fills. Each kernel mixes its characteristic memory
+// pattern with modelled compute cycles, so the overhead ratio — extra
+// cycles per TLB fill over total runtime — is meaningful.
+
+// KernelEnv is the execution environment handed to a kernel.
+type KernelEnv struct {
+	Ctx   *core.Context
+	Pages []mmu.VAddr
+	Clock *sim.Clock
+	Rng   *sim.Rand
+	// Scale multiplies iteration counts (1 = quick test, larger for bench).
+	Scale int
+	// Code and Stack, when set, are touched periodically so the program's
+	// instruction fetches and stack traffic keep those pages hot — real
+	// programs execute code continuously, which matters for the legacy
+	// baseline's CLOCK pager.
+	Code  []mmu.VAddr
+	Stack []mmu.VAddr
+
+	tick int
+}
+
+func (e *KernelEnv) hotTick() {
+	e.tick++
+	if e.tick%8 != 0 {
+		return
+	}
+	if len(e.Code) > 0 {
+		e.Ctx.Exec(e.Code[(e.tick/8)%len(e.Code)])
+	}
+	if len(e.Stack) > 0 {
+		e.Ctx.Store(e.Stack[(e.tick/8)%len(e.Stack)])
+	}
+}
+
+func (e *KernelEnv) load(i int) {
+	e.hotTick()
+	e.Ctx.Load(e.Pages[i%len(e.Pages)])
+}
+
+func (e *KernelEnv) store(i int) {
+	e.hotTick()
+	e.Ctx.Store(e.Pages[i%len(e.Pages)])
+}
+
+func (e *KernelEnv) compute(c uint64) { e.Clock.Advance(c) }
+
+// Kernel is one nbench program.
+type Kernel struct {
+	Name string
+	// ArenaPages is the dataset size; all nbench datasets fit in EPC.
+	ArenaPages int
+	Run        func(*KernelEnv)
+}
+
+// NBench returns the ten-kernel suite.
+func NBench() []Kernel {
+	return []Kernel{
+		{Name: "numeric-sort", ArenaPages: 32, Run: numericSort},
+		{Name: "string-sort", ArenaPages: 48, Run: stringSort},
+		{Name: "bitfield", ArenaPages: 16, Run: bitfield},
+		{Name: "fp-emulation", ArenaPages: 8, Run: fpEmulation},
+		{Name: "fourier", ArenaPages: 4, Run: fourier},
+		{Name: "assignment", ArenaPages: 24, Run: assignment},
+		{Name: "idea", ArenaPages: 12, Run: idea},
+		{Name: "huffman", ArenaPages: 20, Run: huffman},
+		{Name: "neural-net", ArenaPages: 16, Run: neuralNet},
+		{Name: "lu-decomposition", ArenaPages: 28, Run: luDecomposition},
+	}
+}
+
+// numericSort: heapsort over an integer array — strided parent/child hops.
+func numericSort(e *KernelEnv) {
+	n := 2000 * e.Scale
+	for i := 0; i < n; i++ {
+		// sift-down: touch i, 2i, 2i+1 page slots.
+		e.load(i)
+		e.load(2 * i)
+		e.store(2*i + 1)
+		e.compute(14)
+	}
+}
+
+// stringSort: merge-style sequential runs with write-back.
+func stringSort(e *KernelEnv) {
+	n := 2400 * e.Scale
+	for i := 0; i < n; i++ {
+		e.load(i)
+		e.load(i + len(e.Pages)/2)
+		e.store(i)
+		e.compute(18)
+	}
+}
+
+// bitfield: dense bit ops over a small buffer — extreme locality.
+func bitfield(e *KernelEnv) {
+	n := 5000 * e.Scale
+	for i := 0; i < n; i++ {
+		e.load(i % 4)
+		e.store(i % 4)
+		e.compute(6)
+	}
+}
+
+// fpEmulation: tiny working set, compute dominated.
+func fpEmulation(e *KernelEnv) {
+	n := 1500 * e.Scale
+	for i := 0; i < n; i++ {
+		e.load(i % 2)
+		e.compute(120)
+	}
+}
+
+// fourier: coefficient loop, nearly no memory traffic.
+func fourier(e *KernelEnv) {
+	n := 800 * e.Scale
+	for i := 0; i < n; i++ {
+		e.load(0)
+		e.compute(300)
+	}
+}
+
+// assignment: task-assignment matrix sweeps — row and column passes.
+func assignment(e *KernelEnv) {
+	n := 60 * e.Scale
+	side := len(e.Pages)
+	for it := 0; it < n; it++ {
+		for r := 0; r < side; r++ {
+			e.load(r)
+			e.compute(8)
+		}
+		for c := 0; c < side; c++ {
+			e.store(c * 7)
+			e.compute(8)
+		}
+	}
+}
+
+// idea: block cipher over a buffer — sequential with round compute.
+func idea(e *KernelEnv) {
+	n := 2000 * e.Scale
+	for i := 0; i < n; i++ {
+		e.load(i)
+		e.store(i)
+		e.compute(52)
+	}
+}
+
+// huffman: tree walks (random-ish) plus sequential output.
+func huffman(e *KernelEnv) {
+	n := 2600 * e.Scale
+	for i := 0; i < n; i++ {
+		e.load(e.Rng.Intn(len(e.Pages)))
+		e.store(i)
+		e.compute(16)
+	}
+}
+
+// neuralNet: weight-matrix sweeps, forward and backward.
+func neuralNet(e *KernelEnv) {
+	n := 120 * e.Scale
+	for it := 0; it < n; it++ {
+		for i := 0; i < len(e.Pages); i++ {
+			e.load(i)
+			e.compute(30)
+		}
+		for i := len(e.Pages) - 1; i >= 0; i-- {
+			e.store(i)
+			e.compute(30)
+		}
+	}
+}
+
+// luDecomposition: triangular sweeps with shrinking rows.
+func luDecomposition(e *KernelEnv) {
+	n := 40 * e.Scale
+	side := len(e.Pages)
+	for it := 0; it < n; it++ {
+		for i := 0; i < side; i++ {
+			for j := i; j < side; j++ {
+				e.load(j)
+				e.compute(10)
+			}
+			e.store(i)
+		}
+	}
+}

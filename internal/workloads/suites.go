@@ -1,0 +1,237 @@
+package workloads
+
+// This file reimplements the 14 Phoenix and PARSEC kernels of the
+// rate-limited-paging experiment (§7.2, Fig. 7): applications whose
+// datasets exceed the restricted EPC, inducing demand paging. Each kernel
+// reproduces the original's characteristic locality — that is what
+// determines its fault rate and hence its slowdown under rate-limited
+// self-paging.
+
+// Phoenix returns the Phoenix MapReduce kernels (Ranger et al.).
+func Phoenix() []Kernel {
+	return []Kernel{
+		{Name: "kmeans", ArenaPages: 96, Run: kmeans},
+		{Name: "linreg", ArenaPages: 112, Run: linreg},
+		{Name: "wcount", ArenaPages: 96, Run: wcount},
+		{Name: "pca", ArenaPages: 80, Run: pca},
+		{Name: "smatch", ArenaPages: 128, Run: smatch},
+		{Name: "mmult", ArenaPages: 72, Run: mmult},
+	}
+}
+
+// PARSEC returns the PARSEC kernels (Bienia et al.) the paper runs
+// (vips does not run under Graphene and is excluded there too).
+func PARSEC() []Kernel {
+	return []Kernel{
+		{Name: "btrack", ArenaPages: 88, Run: btrack},
+		{Name: "canneal", ArenaPages: 128, Run: canneal},
+		{Name: "scluster", ArenaPages: 96, Run: scluster},
+		{Name: "swap", ArenaPages: 24, Run: swaptions},
+		{Name: "dedup", ArenaPages: 104, Run: dedup},
+		{Name: "bscholes", ArenaPages: 112, Run: blackscholes},
+		{Name: "fluid", ArenaPages: 80, Run: fluidanimate},
+		{Name: "x264", ArenaPages: 96, Run: x264},
+	}
+}
+
+// kmeans: repeated sequential point scans against a small hot centroid set.
+func kmeans(e *KernelEnv) {
+	points := len(e.Pages) * 3 / 4
+	iters := 6 * e.Scale
+	for it := 0; it < iters; it++ {
+		for p := 0; p < points; p++ {
+			e.load(p)
+			e.load(points + p%(len(e.Pages)-points)) // centroid page
+			e.compute(42000)                         // distance computation for the points of one page
+		}
+		e.Ctx.Progress(1)
+	}
+}
+
+// linreg: one-pass sequential scans — ideal locality.
+func linreg(e *KernelEnv) {
+	passes := 8 * e.Scale
+	for it := 0; it < passes; it++ {
+		for p := 0; p < len(e.Pages); p++ {
+			e.load(p)
+			e.compute(250000) // parse + accumulate one page of text
+		}
+		e.Ctx.Progress(1)
+	}
+}
+
+// wcount: sequential text scan with random hash-table updates.
+func wcount(e *KernelEnv) {
+	text := len(e.Pages) * 2 / 3
+	passes := 5 * e.Scale
+	for it := 0; it < passes; it++ {
+		for p := 0; p < text; p++ {
+			e.load(p)
+			e.store(text + e.Rng.Intn(len(e.Pages)-text))
+			e.compute(180000) // tokenize + hash one page of text
+		}
+		e.Ctx.Progress(1)
+	}
+}
+
+// pca: strided column scans over a row-major matrix — poor spatial locality.
+func pca(e *KernelEnv) {
+	cols := 16
+	passes := 4 * e.Scale
+	for it := 0; it < passes; it++ {
+		for c := 0; c < cols; c++ {
+			for p := c; p < len(e.Pages); p += cols {
+				e.load(p)
+				e.compute(100000) // covariance contributions of one page
+			}
+		}
+		e.Ctx.Progress(1)
+	}
+}
+
+// smatch: sequential scan of keys file and encrypt file.
+func smatch(e *KernelEnv) {
+	passes := 7 * e.Scale
+	half := len(e.Pages) / 2
+	for it := 0; it < passes; it++ {
+		for p := 0; p < half; p++ {
+			e.load(p)
+			e.load(half + p)
+			e.compute(230000) // string comparison over one page pair
+		}
+		e.Ctx.Progress(1)
+	}
+}
+
+// mmult: row-major × column-major — B's pages are re-walked per row of A.
+func mmult(e *KernelEnv) {
+	third := len(e.Pages) / 3
+	rows := 3 * e.Scale
+	for r := 0; r < rows; r++ {
+		for i := 0; i < third; i++ {
+			e.load(i) // A row pages
+			for j := 0; j < third; j += 4 {
+				e.load(third + j) // B column walk
+				e.compute(18000)
+			}
+			e.store(2*third + i) // C
+		}
+		e.Ctx.Progress(1)
+	}
+}
+
+// btrack: per-frame processing with a moving medium-sized working set.
+func btrack(e *KernelEnv) {
+	frames := 24 * e.Scale
+	window := len(e.Pages) / 4
+	for f := 0; f < frames; f++ {
+		base := (f * 3) % (len(e.Pages) - window)
+		for i := 0; i < window; i++ {
+			e.load(base + i)
+			e.compute(30000) // per-page particle filter work
+		}
+		e.Ctx.Progress(1)
+	}
+}
+
+// canneal: random pointer chasing over the whole arena — worst locality.
+func canneal(e *KernelEnv) {
+	moves := 4000 * e.Scale
+	for i := 0; i < moves; i++ {
+		e.load(e.Rng.Intn(len(e.Pages)))
+		e.store(e.Rng.Intn(len(e.Pages)))
+		e.compute(24000) // evaluate one annealing move
+		if i%100 == 99 {
+			e.Ctx.Progress(1)
+		}
+	}
+}
+
+// scluster: streaming points against a hot medoid set.
+func scluster(e *KernelEnv) {
+	stream := len(e.Pages) * 3 / 4
+	passes := 5 * e.Scale
+	for it := 0; it < passes; it++ {
+		for p := 0; p < stream; p++ {
+			e.load(p)
+			e.load(stream + p%(len(e.Pages)-stream))
+			e.compute(150000) // cluster one page of points
+		}
+		e.Ctx.Progress(1)
+	}
+}
+
+// swaptions: tiny working set, heavy Monte-Carlo compute — no paging.
+func swaptions(e *KernelEnv) {
+	sims := 600 * e.Scale
+	hot := len(e.Pages) / 4 // HJM working set is tiny; it stays resident
+	if hot == 0 {
+		hot = 1
+	}
+	for i := 0; i < sims; i++ {
+		e.load(i % hot)
+		e.compute(40000) // one Monte-Carlo simulation
+		if i%50 == 49 {
+			e.Ctx.Progress(1)
+		}
+	}
+}
+
+// dedup: sequential chunking with random fingerprint-table probes.
+func dedup(e *KernelEnv) {
+	data := len(e.Pages) * 3 / 4
+	passes := 5 * e.Scale
+	for it := 0; it < passes; it++ {
+		for p := 0; p < data; p++ {
+			e.load(p)
+			e.load(data + e.Rng.Intn(len(e.Pages)-data))
+			e.compute(110000) // chunk + fingerprint one page
+		}
+		e.Ctx.Progress(1)
+	}
+}
+
+// blackscholes: sequential option array, compute heavy.
+func blackscholes(e *KernelEnv) {
+	passes := 6 * e.Scale
+	for it := 0; it < passes; it++ {
+		for p := 0; p < len(e.Pages); p++ {
+			e.load(p)
+			e.store(p)
+			e.compute(90000) // price the options of one page
+		}
+		e.Ctx.Progress(1)
+	}
+}
+
+// fluidanimate: grid stencil — each cell touches neighbours.
+func fluidanimate(e *KernelEnv) {
+	side := 8
+	steps := 6 * e.Scale
+	for s := 0; s < steps; s++ {
+		for p := 0; p < len(e.Pages); p++ {
+			e.load(p)
+			e.load(p + 1)
+			e.load(p + side)
+			e.store(p)
+			e.compute(30000) // stencil update for one page of cells
+		}
+		e.Ctx.Progress(1)
+	}
+}
+
+// x264: current frame sequential + sliding reference window.
+func x264(e *KernelEnv) {
+	frames := 10 * e.Scale
+	frame := len(e.Pages) / 4
+	for f := 0; f < frames; f++ {
+		ref := (f % 3) * frame
+		for p := 0; p < frame; p++ {
+			e.load(3*frame + p) // current frame
+			e.load(ref + (p+e.Rng.Intn(5))%frame)
+			e.store(3*frame + p)
+			e.compute(48000) // motion estimation for one page of macroblocks
+		}
+		e.Ctx.Progress(1)
+	}
+}

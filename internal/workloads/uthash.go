@@ -1,0 +1,136 @@
+package workloads
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"autarky/internal/core"
+)
+
+// UTHash models the uthash benchmark of §7.2: a hash table with internal
+// chaining, 256-byte items, and up to 10 items per bucket. Chain nodes of a
+// bucket live on different arena pages ("the nodes in the chain likely
+// belong to different clusters"), so a lookup's page trace depends on the
+// key — the property the cluster-size sweep of Fig. 6 quantifies.
+//
+// The arena is accessed through a Backend, so the same table runs over
+// direct paged memory (clusters experiment) or the cached/uncached ORAM.
+type UTHash struct {
+	Items        int
+	ItemsPerBkt  int
+	Buckets      int
+	itemsPerPage int // 256 B items -> 16 per 4 KiB page
+
+	backend Backend
+
+	// bucketSlotBase is the arena slot of the bucket-head array start.
+	bucketSlotBase int
+	bucketsPerPage int
+
+	// chain[b] lists item ids in bucket b, in insertion order.
+	chain [][]int
+}
+
+// UTHashConfig sizes the table.
+type UTHashConfig struct {
+	Items       int
+	ItemsPerBkt int // max chain length before rehash is advised (10)
+}
+
+// UTHashArenaPages returns the arena size (pages) a table of n items
+// needs, including headroom for one bucket-doubling rehash (§7.2 measures
+// before and after rehashing).
+func UTHashArenaPages(cfg UTHashConfig) int {
+	buckets := (cfg.Items/cfg.ItemsPerBkt + 1) * 2
+	itemPages := (cfg.Items + 15) / 16
+	bucketPages := (buckets*8 + 4095) / 4096
+	return itemPages + bucketPages
+}
+
+// BuildUTHash populates a table of cfg.Items 256-byte items over the
+// backend arena.
+func BuildUTHash(ctx *core.Context, backend Backend, cfg UTHashConfig) (*UTHash, error) {
+	u := &UTHash{
+		Items:        cfg.Items,
+		ItemsPerBkt:  cfg.ItemsPerBkt,
+		Buckets:      cfg.Items/cfg.ItemsPerBkt + 1,
+		itemsPerPage: 16,
+		backend:      backend,
+	}
+	itemPages := (cfg.Items + u.itemsPerPage - 1) / u.itemsPerPage
+	u.bucketSlotBase = itemPages
+	u.bucketsPerPage = 4096 / 8
+	need := itemPages + (u.Buckets+u.bucketsPerPage-1)/u.bucketsPerPage
+	if backend.Slots() < need {
+		return nil, fmt.Errorf("workloads: uthash needs %d arena pages, backend has %d", need, backend.Slots())
+	}
+	u.chain = make([][]int, u.Buckets)
+	for i := 0; i < cfg.Items; i++ {
+		b := u.bucketOf(u.Key(i))
+		u.chain[b] = append(u.chain[b], i)
+		// Populate: write bucket head and the item.
+		backend.Touch(ctx, u.bucketSlot(b), true)
+		backend.Touch(ctx, u.itemSlot(i), true)
+	}
+	return u, nil
+}
+
+// Key synthesizes the i'th key.
+func (u *UTHash) Key(i int) string { return fmt.Sprintf("key-%08d", i) }
+
+func (u *UTHash) bucketOf(key string) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32()&0x7fffffff) % u.Buckets
+}
+
+func (u *UTHash) bucketSlot(b int) int { return u.bucketSlotBase + b/u.bucketsPerPage }
+func (u *UTHash) itemSlot(i int) int   { return i / u.itemsPerPage }
+
+// Lookup finds a key, touching the bucket-head page and each chain node's
+// item page until the match.
+func (u *UTHash) Lookup(ctx *core.Context, key string) bool {
+	b := u.bucketOf(key)
+	u.backend.Touch(ctx, u.bucketSlot(b), false)
+	for _, id := range u.chain[b] {
+		u.backend.Touch(ctx, u.itemSlot(id), false)
+		if u.Key(id) == key {
+			return true
+		}
+	}
+	return false
+}
+
+// Rehash doubles the bucket count and redistributes the chains ("trigger
+// rehashing and bucket expansion", §7.2), shortening average chains.
+// It touches every item once, like the real rehash.
+func (u *UTHash) Rehash(ctx *core.Context) error {
+	newBuckets := u.Buckets * 2
+	bucketPages := (newBuckets + u.bucketsPerPage - 1) / u.bucketsPerPage
+	if u.bucketSlotBase+bucketPages > u.backend.Slots() {
+		return fmt.Errorf("workloads: arena too small for rehash to %d buckets", newBuckets)
+	}
+	old := u.chain
+	u.Buckets = newBuckets
+	u.chain = make([][]int, newBuckets)
+	for _, chain := range old {
+		for _, id := range chain {
+			u.backend.Touch(ctx, u.itemSlot(id), false)
+			b := u.bucketOf(u.Key(id))
+			u.chain[b] = append(u.chain[b], id)
+			u.backend.Touch(ctx, u.bucketSlot(b), true)
+		}
+	}
+	return nil
+}
+
+// MaxChain reports the longest current chain.
+func (u *UTHash) MaxChain() int {
+	m := 0
+	for _, c := range u.chain {
+		if len(c) > m {
+			m = len(c)
+		}
+	}
+	return m
+}

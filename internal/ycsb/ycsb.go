@@ -1,0 +1,187 @@
+// Package ycsb reimplements the YCSB key-distribution generators the paper
+// uses for the Memcached evaluation (§7.3, Fig. 8): uniform, Zipfian
+// (scrambled, α = 0.99) and hotspot (1% hot set with 90% / 99% access
+// probability), plus the workload-C request mix (100% GET).
+package ycsb
+
+import (
+	"fmt"
+	"math"
+
+	"autarky/internal/sim"
+)
+
+// Generator produces a stream of record indexes in [0, n).
+type Generator interface {
+	Next() int
+	Name() string
+}
+
+// Uniform selects keys uniformly at random.
+type Uniform struct {
+	n   int
+	rng *sim.Rand
+}
+
+// NewUniform returns a uniform generator over n records.
+func NewUniform(n int, seed uint64) *Uniform {
+	if n <= 0 {
+		panic("ycsb: NewUniform(n<=0)")
+	}
+	return &Uniform{n: n, rng: sim.NewRand(seed)}
+}
+
+// Next implements Generator.
+func (u *Uniform) Next() int { return u.rng.Intn(u.n) }
+
+// Name implements Generator.
+func (u *Uniform) Name() string { return "uniform" }
+
+// Zipfian is the standard YCSB Zipfian generator (Gray et al.'s algorithm)
+// with FNV scrambling so hot keys are spread over the keyspace.
+type Zipfian struct {
+	n         int
+	theta     float64
+	alpha     float64
+	zetan     float64
+	zeta2     float64
+	eta       float64
+	rng       *sim.Rand
+	scrambled bool
+}
+
+// NewZipfian returns a scrambled Zipfian generator over n records with the
+// given theta (the paper uses 0.99).
+func NewZipfian(n int, theta float64, seed uint64) *Zipfian {
+	if n <= 0 {
+		panic("ycsb: NewZipfian(n<=0)")
+	}
+	if theta <= 0 || theta >= 1 {
+		panic(fmt.Sprintf("ycsb: theta %v out of (0,1)", theta))
+	}
+	z := &Zipfian{n: n, theta: theta, rng: sim.NewRand(seed), scrambled: true}
+	z.zetan = zeta(n, theta)
+	z.zeta2 = zeta(2, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	return z
+}
+
+func zeta(n int, theta float64) float64 {
+	sum := 0.0
+	for i := 1; i <= n; i++ {
+		sum += 1.0 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// rank returns the next Zipf-distributed rank in [0, n) (0 = hottest).
+func (z *Zipfian) rank() int {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return int(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}
+
+// Next implements Generator.
+func (z *Zipfian) Next() int {
+	r := z.rank()
+	if r >= z.n {
+		r = z.n - 1
+	}
+	if !z.scrambled {
+		return r
+	}
+	return int(fnv64(uint64(r)) % uint64(z.n))
+}
+
+// Name implements Generator.
+func (z *Zipfian) Name() string { return fmt.Sprintf("zipf(%.2f)", z.theta) }
+
+func fnv64(v uint64) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= 0x100000001b3
+		v >>= 8
+	}
+	return h
+}
+
+// Hotspot selects from a hot subset with probability hotOpn, else from the
+// cold remainder — YCSB's hotspot distribution. The paper's Fig. 8 uses a
+// 1% hot set with 90% and 99% access probability.
+type Hotspot struct {
+	n       int
+	hotN    int
+	hotOpn  float64
+	rng     *sim.Rand
+	nameStr string
+}
+
+// NewHotspot returns a hotspot generator over n records: hotFrac of them
+// are hot and receive hotOpn of the accesses.
+func NewHotspot(n int, hotFrac, hotOpn float64, seed uint64) *Hotspot {
+	if n <= 0 {
+		panic("ycsb: NewHotspot(n<=0)")
+	}
+	hotN := int(float64(n) * hotFrac)
+	if hotN < 1 {
+		hotN = 1
+	}
+	return &Hotspot{
+		n:       n,
+		hotN:    hotN,
+		hotOpn:  hotOpn,
+		rng:     sim.NewRand(seed),
+		nameStr: fmt.Sprintf("hotspot(%.2f)", hotOpn),
+	}
+}
+
+// Next implements Generator.
+func (h *Hotspot) Next() int {
+	if h.rng.Float64() < h.hotOpn {
+		return h.rng.Intn(h.hotN)
+	}
+	if h.n == h.hotN {
+		return h.rng.Intn(h.n)
+	}
+	return h.hotN + h.rng.Intn(h.n-h.hotN)
+}
+
+// Name implements Generator.
+func (h *Hotspot) Name() string { return h.nameStr }
+
+// Op is one request of a YCSB workload.
+type Op struct {
+	Key  int
+	Read bool
+}
+
+// Workload generates a request mix over a key distribution. WorkloadC (the
+// paper's configuration) is 100% reads.
+type Workload struct {
+	Gen       Generator
+	ReadRatio float64 // 1.0 for workload C
+	rng       *sim.Rand
+}
+
+// NewWorkloadC returns the 100%-GET workload over the given generator.
+func NewWorkloadC(gen Generator) *Workload {
+	return &Workload{Gen: gen, ReadRatio: 1.0, rng: sim.NewRand(7)}
+}
+
+// NewWorkload returns a read/write mix over the generator.
+func NewWorkload(gen Generator, readRatio float64, seed uint64) *Workload {
+	return &Workload{Gen: gen, ReadRatio: readRatio, rng: sim.NewRand(seed)}
+}
+
+// Next returns the next operation.
+func (w *Workload) Next() Op {
+	return Op{Key: w.Gen.Next(), Read: w.rng.Float64() < w.ReadRatio}
+}

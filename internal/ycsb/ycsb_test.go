@@ -1,0 +1,208 @@
+package ycsb
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUniformRangeAndCoverage(t *testing.T) {
+	const n = 50
+	g := NewUniform(n, 1)
+	seen := make(map[int]int)
+	for i := 0; i < 20000; i++ {
+		k := g.Next()
+		if k < 0 || k >= n {
+			t.Fatalf("key %d out of range", k)
+		}
+		seen[k]++
+	}
+	if len(seen) != n {
+		t.Fatalf("only %d/%d keys seen", len(seen), n)
+	}
+	// Roughly uniform: no key should get more than 3x its fair share.
+	for k, c := range seen {
+		if c > 3*20000/n {
+			t.Fatalf("key %d hit %d times", k, c)
+		}
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	const n = 10000
+	g := NewZipfian(n, 0.99, 1)
+	counts := make(map[int]int)
+	const samples = 50000
+	for i := 0; i < samples; i++ {
+		k := g.Next()
+		if k < 0 || k >= n {
+			t.Fatalf("key %d out of range", k)
+		}
+		counts[k]++
+	}
+	// Skew: the most popular 1% of keys should draw far more than 1% of
+	// accesses (for theta=.99 typically >30%).
+	type kv struct{ k, c int }
+	var top int
+	hot := samples / 100
+	// Count mass of the hottest keys by sorting counts descending.
+	all := make([]int, 0, len(counts))
+	for _, c := range counts {
+		all = append(all, c)
+	}
+	// partial selection: simple sort
+	for i := 0; i < len(all); i++ {
+		for j := i + 1; j < len(all); j++ {
+			if all[j] > all[i] {
+				all[i], all[j] = all[j], all[i]
+			}
+		}
+		if i >= n/100 {
+			break
+		}
+	}
+	for i := 0; i < n/100 && i < len(all); i++ {
+		top += all[i]
+	}
+	_ = hot
+	if frac := float64(top) / samples; frac < 0.2 {
+		t.Fatalf("top 1%% of keys drew only %.1f%% of accesses — not Zipfian", frac*100)
+	}
+}
+
+func TestZipfianScrambles(t *testing.T) {
+	// Scrambling spreads the hot keys: the single hottest key should not
+	// be key 0.
+	g := NewZipfian(1000, 0.99, 7)
+	counts := make(map[int]int)
+	for i := 0; i < 20000; i++ {
+		counts[g.Next()]++
+	}
+	max, argmax := 0, -1
+	for k, c := range counts {
+		if c > max {
+			max, argmax = c, k
+		}
+	}
+	if argmax == 0 {
+		t.Fatal("hottest key is rank 0 — scrambling not applied")
+	}
+}
+
+func TestZipfianValidation(t *testing.T) {
+	for _, bad := range []float64{0, 1, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("theta %v accepted", bad)
+				}
+			}()
+			NewZipfian(10, bad, 1)
+		}()
+	}
+}
+
+func TestHotspotFractions(t *testing.T) {
+	const n = 10000
+	g := NewHotspot(n, 0.01, 0.9, 3)
+	hotN := n / 100
+	hot := 0
+	const samples = 50000
+	for i := 0; i < samples; i++ {
+		k := g.Next()
+		if k < 0 || k >= n {
+			t.Fatalf("key %d out of range", k)
+		}
+		if k < hotN {
+			hot++
+		}
+	}
+	frac := float64(hot) / samples
+	if math.Abs(frac-0.9) > 0.02 {
+		t.Fatalf("hot fraction %.3f, want ~0.9", frac)
+	}
+}
+
+func TestHotspotSkewOrdering(t *testing.T) {
+	// hotspot(0.99) concentrates more than hotspot(0.90).
+	measure := func(hotOpn float64) float64 {
+		g := NewHotspot(10000, 0.01, hotOpn, 5)
+		hot := 0
+		for i := 0; i < 20000; i++ {
+			if g.Next() < 100 {
+				hot++
+			}
+		}
+		return float64(hot) / 20000
+	}
+	if measure(0.99) <= measure(0.90) {
+		t.Fatal("hotspot(0.99) not hotter than hotspot(0.90)")
+	}
+}
+
+func TestGeneratorNames(t *testing.T) {
+	if NewUniform(10, 1).Name() != "uniform" {
+		t.Fatal("uniform name")
+	}
+	if NewZipfian(10, 0.99, 1).Name() != "zipf(0.99)" {
+		t.Fatal("zipf name")
+	}
+	if NewHotspot(10, 0.01, 0.9, 1).Name() != "hotspot(0.90)" {
+		t.Fatal("hotspot name")
+	}
+}
+
+func TestWorkloadCIsAllReads(t *testing.T) {
+	w := NewWorkloadC(NewUniform(100, 1))
+	for i := 0; i < 1000; i++ {
+		if op := w.Next(); !op.Read {
+			t.Fatal("workload C produced a write")
+		}
+	}
+}
+
+func TestWorkloadMixRatio(t *testing.T) {
+	w := NewWorkload(NewUniform(100, 1), 0.5, 2)
+	reads := 0
+	const samples = 20000
+	for i := 0; i < samples; i++ {
+		if w.Next().Read {
+			reads++
+		}
+	}
+	if frac := float64(reads) / samples; math.Abs(frac-0.5) > 0.03 {
+		t.Fatalf("read fraction %.3f, want ~0.5", frac)
+	}
+}
+
+func TestGeneratorsInRangeProperty(t *testing.T) {
+	check := func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw%1000) + 2
+		gens := []Generator{
+			NewUniform(n, seed),
+			NewZipfian(n, 0.99, seed),
+			NewHotspot(n, 0.01, 0.9, seed),
+		}
+		for _, g := range gens {
+			for i := 0; i < 200; i++ {
+				if k := g.Next(); k < 0 || k >= n {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := NewZipfian(100, 0.99, 9)
+	b := NewZipfian(100, 0.99, 9)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
