@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build test race vet fmt check bench
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The determinism contract requires race-detector cleanliness: parallel
+# experiment cells must share no mutable state.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# check is the CI gate: formatting, static analysis, build, and the full
+# test suite under the race detector.
+check: fmt vet build race
+	@echo "all checks passed"

@@ -3,91 +3,175 @@
 // same rows/series the paper reports, with the paper's qualitative shape
 // noted alongside.
 //
+// Experiments are grids of independent cells — one simulated machine per
+// cell — fanned across a worker pool (internal/runner). Results are
+// deterministic at any concurrency: -jobs changes wall-clock time, never a
+// reported cycle count.
+//
 // Usage:
 //
 //	autarky-bench                  # run everything at default scale
-//	autarky-bench -exp fig6        # one experiment (e1,fig5,fig6,fig7,table2,fig8,security,ablation)
+//	autarky-bench -exp fig6        # one experiment (e1,fig5,fig6,fig7,table2,fig8,security,ablation,...)
 //	autarky-bench -scale 4         # larger workloads (slower, smoother numbers)
+//	autarky-bench -jobs 8          # up to 8 concurrent experiment cells
+//	autarky-bench -jobs 1          # strictly sequential (same output, slower)
+//	autarky-bench -format json     # machine-readable report (see experiments.Report)
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"strings"
 
 	"autarky/internal/experiments"
 )
 
-func main() {
-	exp := flag.String("exp", "all", "experiment to run: e1, fig5, fig6, fig7, table2, fig8, security, ablation, sensitivity, or all")
-	scale := flag.Int("scale", 1, "workload scale factor (iterations / dataset multiplier)")
-	flag.Parse()
+// experiment is one registry entry: a primary name, its aliases, and the
+// driver that produces the printed table at a given workload scale.
+type experiment struct {
+	names []string
+	run   func(scale int) *experiments.Table
+}
 
-	run := func(name string) bool {
-		return *exp == "all" || strings.EqualFold(*exp, name)
-	}
-
-	ran := false
-	if run("e1") {
-		experiments.RunE1(4 * *scale).Table().Fprint(os.Stdout)
-		ran = true
-	}
-	if run("fig5") || run("e2") {
-		experiments.RunE2(20 * *scale).Table().Fprint(os.Stdout)
-		ran = true
-	}
-	if run("fig6") || run("e3") {
+// registry lists every experiment in the order "-exp all" runs them.
+var registry = []experiment{
+	{[]string{"e1"}, func(s int) *experiments.Table {
+		return experiments.RunE1(4 * s).Table()
+	}},
+	{[]string{"fig5", "e2"}, func(s int) *experiments.Table {
+		return experiments.RunE2(20 * s).Table()
+	}},
+	{[]string{"fig6", "e3"}, func(s int) *experiments.Table {
 		p := experiments.DefaultE3Params()
-		p.Lookups *= *scale
-		experiments.RunE3(p).Table().Fprint(os.Stdout)
-		ran = true
-	}
-	if run("fig7") || run("e4") {
-		experiments.RunE4(*scale).Table().Fprint(os.Stdout)
-		ran = true
-	}
-	if run("table2") || run("e5") {
+		p.Lookups *= s
+		return experiments.RunE3(p).Table()
+	}},
+	{[]string{"fig7", "e4"}, func(s int) *experiments.Table {
+		return experiments.RunE4(s).Table()
+	}},
+	{[]string{"table2", "e5"}, func(s int) *experiments.Table {
 		p := experiments.DefaultE5Params()
-		p.HunspellWords *= *scale
-		p.FreeTypeChars *= *scale
-		experiments.RunE5(p).Table().Fprint(os.Stdout)
-		ran = true
-	}
-	if run("fig8") || run("e6") {
+		p.HunspellWords *= s
+		p.FreeTypeChars *= s
+		return experiments.RunE5(p).Table()
+	}},
+	{[]string{"fig8", "e6"}, func(s int) *experiments.Table {
 		p := experiments.DefaultE6Params()
-		p.Requests *= *scale
-		experiments.RunE6(p).Table().Fprint(os.Stdout)
-		ran = true
-	}
-	if run("mixed") || run("e6m") {
+		p.Requests *= s
+		return experiments.RunE6(p).Table()
+	}},
+	{[]string{"mixed", "e6m"}, func(s int) *experiments.Table {
 		p := experiments.DefaultE6Params()
-		p.Requests *= *scale
-		experiments.RunE6Mixed(p).Table().Fprint(os.Stdout)
-		ran = true
+		p.Requests *= s
+		return experiments.RunE6Mixed(p).Table()
+	}},
+	{[]string{"security", "e7"}, func(s int) *experiments.Table {
+		return experiments.RunE7().Table()
+	}},
+	{[]string{"leakage", "e7c"}, func(s int) *experiments.Table {
+		return experiments.RunE7Leakage().Table()
+	}},
+	{[]string{"ablation", "e8"}, func(s int) *experiments.Table {
+		return experiments.RunE8(10 * s).Table()
+	}},
+	{[]string{"codeclusters", "e8b"}, func(s int) *experiments.Table {
+		return experiments.RunE8CodeClusters(600 * s).Table()
+	}},
+	{[]string{"sensitivity", "e9"}, func(s int) *experiments.Table {
+		return experiments.RunE9().Table()
+	}},
+}
+
+// run is the testable entry point; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("autarky-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exp := fs.String("exp", "all", "experiment to run: e1, fig5, fig6, fig7, table2, fig8, mixed, security, leakage, ablation, codeclusters, sensitivity, or all")
+	scale := fs.Int("scale", 1, "workload scale factor (iterations / dataset multiplier)")
+	jobs := fs.Int("jobs", runtime.NumCPU(), "max concurrent experiment cells; 1 runs strictly sequentially (identical output)")
+	format := fs.String("format", "text", "output format: text or json")
+	budget := fs.Uint64("budget", 0, "per-cell cycle budget; a cell exceeding it reports an error row (0 = unlimited)")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	if run("security") || run("e7") {
-		experiments.RunE7().Table().Fprint(os.Stdout)
-		ran = true
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(stderr, "unknown format %q (want text or json)\n", *format)
+		return 2
 	}
-	if run("leakage") || run("e7c") {
-		experiments.RunE7Leakage().Table().Fprint(os.Stdout)
-		ran = true
+
+	experiments.SetJobs(*jobs)
+	experiments.SetCellBudget(*budget)
+
+	selected := selected(*exp)
+	if len(selected) == 0 {
+		fmt.Fprintf(stderr, "unknown experiment %q\n", *exp)
+		return 2
 	}
-	if run("ablation") || run("e8") {
-		experiments.RunE8(10 * *scale).Table().Fprint(os.Stdout)
-		ran = true
+
+	var rep experiments.Report
+	failed := 0
+	for _, e := range selected {
+		tab, ok := runSafe(e.names[0], *scale, e.run)
+		if !ok {
+			failed++
+		}
+		rep.Add(tab)
 	}
-	if run("codeclusters") || run("e8b") {
-		experiments.RunE8CodeClusters(600 * *scale).Table().Fprint(os.Stdout)
-		ran = true
+
+	if *format == "json" {
+		if err := rep.WriteJSON(stdout); err != nil {
+			fmt.Fprintf(stderr, "writing report: %v\n", err)
+			return 1
+		}
+	} else {
+		for _, t := range rep.Tables {
+			t.Fprint(stdout)
+		}
 	}
-	if run("sensitivity") || run("e9") {
-		experiments.RunE9().Table().Fprint(os.Stdout)
-		ran = true
+	if failed > 0 {
+		fmt.Fprintf(stderr, "%d experiment(s) failed\n", failed)
+		return 1
 	}
-	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
-		os.Exit(2)
+	return 0
+}
+
+// selected resolves an -exp value to registry entries: every experiment
+// for "all", the matching entry (by any of its names, case-insensitively)
+// otherwise, nil for an unknown name.
+func selected(exp string) []experiment {
+	if exp == "all" {
+		return registry
 	}
+	for _, e := range registry {
+		for _, n := range e.names {
+			if strings.EqualFold(exp, n) {
+				return []experiment{e}
+			}
+		}
+	}
+	return nil
+}
+
+// runSafe executes one experiment, converting a panic (a crashed cell, an
+// exceeded cycle budget) into an error table so the rest of the suite
+// still runs and reports.
+func runSafe(name string, scale int, f func(int) *experiments.Table) (tab *experiments.Table, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			tab = &experiments.Table{
+				Title:  fmt.Sprintf("%s: FAILED", name),
+				Header: []string{"experiment", "error"},
+				Rows:   [][]string{{name, fmt.Sprint(r)}},
+			}
+			ok = false
+		}
+	}()
+	return f(scale), true
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }

@@ -188,9 +188,10 @@ func TestSharedEvictionIsSafe(t *testing.T) {
 }
 
 // TestClosureFetchMaintainsInvariant is the central property test: over
-// random cluster graphs and random fault/evict sequences, fetching the
-// transitive closure on fault and evicting whole clusters never violates
-// the invariant.
+// random cluster graphs with shared pages, random sequences of
+// closure-fetches, whole-cluster evictions, and safe membership mutations
+// (removing a resident page, registering a fresh page with a fully
+// non-resident cluster) never violate the invariant.
 func TestClosureFetchMaintainsInvariant(t *testing.T) {
 	type scenario struct {
 		Seed uint64
@@ -214,14 +215,48 @@ func TestClosureFetchMaintainsInvariant(t *testing.T) {
 			}
 		}
 		resident := make(map[uint64]bool) // all start non-resident
+		nextVPN := uint64(pages)          // fresh pages registered mid-run
 		for step := 0; step < 200; step++ {
-			if rng.Intn(2) == 0 {
+			switch rng.Intn(5) {
+			case 0, 1:
 				// Fault: fetch the closure.
 				for _, vpn := range r.Closure(uint64(rng.Intn(pages))) {
 					resident[vpn] = true
 				}
-			} else {
-				// Evict one whole cluster.
+			case 2:
+				// Deregister a resident page from one of its clusters
+				// (ay_remove_page on a page the runtime holds is always
+				// safe: it cannot orphan a non-resident page).
+				p := uint64(rng.Intn(pages))
+				if cids := r.GetClusterIDs(p); resident[p] && len(cids) > 0 {
+					if err := r.RemovePage(cids[rng.Intn(len(cids))], p); err != nil {
+						return false
+					}
+				}
+			case 3:
+				// Register a brand-new (non-resident) page with a fully
+				// non-resident cluster — the loader's ay_add_page pattern.
+				cid := ids[rng.Intn(nclusters)]
+				c, ok := r.Cluster(cid)
+				if !ok {
+					continue
+				}
+				allOut := true
+				for _, vpn := range c.Pages() {
+					if resident[vpn] {
+						allOut = false
+						break
+					}
+				}
+				if allOut {
+					if err := r.AddPage(cid, nextVPN); err != nil {
+						return false
+					}
+					nextVPN++
+				}
+			default:
+				// Evict one whole cluster — safe even for clusters sharing
+				// pages with partially resident neighbours.
 				c, ok := r.Cluster(ids[rng.Intn(nclusters)])
 				if !ok {
 					continue

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The determinism contract (DESIGN.md): every experiment cell runs on its
+// own simulated machine and reports cycle counts, so the serialized table
+// must be byte-identical across repeated runs and at any worker count.
+// These tests enforce the contract rather than trusting it: each
+// experiment renders once sequentially, once again sequentially (same-seed
+// repeat), and once on an 8-worker pool, and the three byte streams must
+// match exactly.
+
+// determinismCases lists every experiment with reduced parameters (the
+// contract is about scheduling, not workload size, so small runs suffice).
+func determinismCases() []struct {
+	name string
+	run  func() *Table
+} {
+	e3 := DefaultE3Params()
+	e3.Items = 2048
+	e3.Lookups = 150
+	e3.UncachedOps = 20
+
+	e5 := DefaultE5Params()
+	e5.JPEGBlocksH = 16
+	e5.HunspellWords = 250
+	e5.FreeTypeChars = 250
+
+	e6 := DefaultE6Params()
+	e6.Items = 1024
+	e6.Requests = 600
+
+	return []struct {
+		name string
+		run  func() *Table
+	}{
+		{"E1", func() *Table { return RunE1(1).Table() }},
+		{"E2", func() *Table { return RunE2(3).Table() }},
+		{"E3", func() *Table { return RunE3(e3).Table() }},
+		{"E4", func() *Table { return RunE4(1).Table() }},
+		{"E5", func() *Table { return RunE5(e5).Table() }},
+		{"E6", func() *Table { return RunE6(e6).Table() }},
+		{"E6m", func() *Table { return RunE6Mixed(e6).Table() }},
+		{"E7", func() *Table { return RunE7().Table() }},
+		{"E7c", func() *Table { return RunE7Leakage().Table() }},
+		{"E8", func() *Table { return RunE8(2).Table() }},
+		{"E8b", func() *Table { return RunE8CodeClusters(150).Table() }},
+		{"E9", func() *Table { return RunE9().Table() }},
+	}
+}
+
+func renderTable(tab *Table) string {
+	var sb strings.Builder
+	tab.Fprint(&sb)
+	return sb.String()
+}
+
+func TestExperimentsByteIdenticalAcrossJobsAndRuns(t *testing.T) {
+	t.Cleanup(func() { SetJobs(0) })
+	for _, tc := range determinismCases() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			SetJobs(1)
+			seq := renderTable(tc.run())
+			rerun := renderTable(tc.run())
+			SetJobs(8)
+			par := renderTable(tc.run())
+
+			if seq != rerun {
+				t.Errorf("two sequential same-seed runs differ:\n--- first ---\n%s\n--- second ---\n%s", seq, rerun)
+			}
+			if seq != par {
+				t.Errorf("jobs=1 vs jobs=8 differ:\n--- jobs=1 ---\n%s\n--- jobs=8 ---\n%s", seq, par)
+			}
+			if !strings.Contains(seq, "== ") || !strings.Contains(seq, "\n") {
+				t.Errorf("suspiciously empty table:\n%s", seq)
+			}
+		})
+	}
+}

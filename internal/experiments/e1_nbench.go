@@ -30,25 +30,40 @@ type E1Result struct {
 	TSGXPercent float64 // T-SGX's reported overhead (competing defense)
 }
 
-// RunE1 executes the suite at the given scale.
+// e1Cell is one kernel's measurement pair (base vs A/D check).
+type e1Cell struct {
+	row   E1Row
+	ratio float64
+}
+
+// RunE1 executes the suite at the given scale. Each nbench kernel is an
+// independent cell on the ambient pool.
 func RunE1(scale int) E1Result {
 	res := E1Result{PaperPct: 0.07, TSGXPercent: 50}
-	var ratios []float64
-	for _, k := range workloads.NBench() {
+	kernels := workloads.NBench()
+	cells := runCells("E1", len(kernels), func(i int) e1Cell {
+		k := kernels[i]
 		base := runE1Kernel(k, scale, 0)
 		withAD := runE1Kernel(k, scale, 10)
 		if base.Err != nil || withAD.Err != nil {
 			panic(fmt.Sprintf("E1 %s failed: %v %v", k.Name, base.Err, withAD.Err))
 		}
 		slow := float64(withAD.Cycles) / float64(base.Cycles)
-		ratios = append(ratios, slow)
-		res.Rows = append(res.Rows, E1Row{
-			Kernel:      k.Name,
-			BaseCycles:  base.Cycles,
-			ADCycles:    withAD.Cycles,
-			TLBFillADs:  withAD.ADChecks,
-			SlowdownPct: (slow - 1) * 100,
-		})
+		return e1Cell{
+			row: E1Row{
+				Kernel:      k.Name,
+				BaseCycles:  base.Cycles,
+				ADCycles:    withAD.Cycles,
+				TLBFillADs:  withAD.ADChecks,
+				SlowdownPct: (slow - 1) * 100,
+			},
+			ratio: slow,
+		}
+	})
+	var ratios []float64
+	for _, c := range cells {
+		ratios = append(ratios, c.ratio)
+		res.Rows = append(res.Rows, c.row)
 	}
 	res.GeomeanPct = (Geomean(ratios) - 1) * 100
 	return res

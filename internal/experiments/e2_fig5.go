@@ -37,11 +37,12 @@ type E2Result struct {
 
 // RunE2 executes the microbenchmark: a round-robin sweep over a heap much
 // larger than the quota, so every touch faults, fetches one page and
-// (amortized) evicts one.
+// (amortized) evicts one. Each paging mechanism is an independent cell.
 func RunE2(rounds int) E2Result {
 	costs := sim.DefaultCosts()
-	var out E2Result
-	for _, mech := range []core.Mech{core.MechSGX1, core.MechSGX2} {
+	mechs := []core.Mech{core.MechSGX1, core.MechSGX2}
+	cells := runCells("E2", len(mechs), func(i int) [2]E2Stack {
+		mech := mechs[i]
 		res := runE2Sweep(mech, rounds)
 		perFault := float64(res.Cycles) / float64(res.SelfPage)
 		fault := analyticFaultStack(&costs, mech)
@@ -49,7 +50,11 @@ func RunE2(rounds int) E2Result {
 		fault.FaultsRun = res.SelfPage
 		evict := analyticEvictStack(&costs, mech)
 		evict.FaultsRun = res.Evicted
-		out.Stacks = append(out.Stacks, fault, evict)
+		return [2]E2Stack{fault, evict}
+	})
+	var out E2Result
+	for _, pair := range cells {
+		out.Stacks = append(out.Stacks, pair[0], pair[1])
 	}
 	return out
 }

@@ -80,13 +80,28 @@ func RunE3(p E3Params) E3Result {
 		}
 	}
 
-	for _, c := range res.ClusterSizes {
-		fresh, rehashed := runE3Clusters(p, arena, c)
-		res.Fresh = append(res.Fresh, fresh)
-		res.Rehashed = append(res.Rehashed, rehashed)
+	// One cell per quota sweep point, plus the two ORAM reference points.
+	type e3Cell struct {
+		fresh, rehashed, oram E3Row
 	}
-	res.ORAMCached = runE3ORAM(p, arena, false)
-	res.ORAMUncached = runE3ORAM(p, arena, true)
+	n := len(res.ClusterSizes)
+	cells := runCells("E3", n+2, func(i int) e3Cell {
+		switch {
+		case i < n:
+			fresh, rehashed := runE3Clusters(p, arena, res.ClusterSizes[i])
+			return e3Cell{fresh: fresh, rehashed: rehashed}
+		case i == n:
+			return e3Cell{oram: runE3ORAM(p, arena, false)}
+		default:
+			return e3Cell{oram: runE3ORAM(p, arena, true)}
+		}
+	})
+	for _, c := range cells[:n] {
+		res.Fresh = append(res.Fresh, c.fresh)
+		res.Rehashed = append(res.Rehashed, c.rehashed)
+	}
+	res.ORAMCached = cells[n].oram
+	res.ORAMUncached = cells[n+1].oram
 	return res
 }
 

@@ -39,12 +39,14 @@ type E4Result struct {
 // kernel's arena (the paper reduces EPC to ~100 MB to induce paging).
 const E4QuotaFraction = 0.6
 
-// RunE4 executes all 14 applications at the given scale.
+// RunE4 executes all 14 applications at the given scale, one cell per
+// application (three runs each: baseline, autarky, AEX-elided).
 func RunE4(scale int) E4Result {
 	var res E4Result
 	var slows, elides []float64
 	apps := append(workloads.Phoenix(), workloads.PARSEC()...)
-	for i, k := range apps {
+	rows := runCells("E4", len(apps), func(i int) E4Row {
+		k := apps[i]
 		quota := 12 + int(float64(k.ArenaPages)*E4QuotaFraction)
 		seed := uint64(0xE4000 + i)
 
@@ -72,7 +74,7 @@ func RunE4(scale int) E4Result {
 				panic(fmt.Sprintf("E4 %s (%s): %v", k.Name, r.Label, r.Err))
 			}
 		}
-		row := E4Row{
+		return E4Row{
 			App:          k.Name,
 			BaseCycles:   base.Cycles,
 			AutkCycles:   autk.Cycles,
@@ -82,6 +84,8 @@ func RunE4(scale int) E4Result {
 			FaultsPerSec: PerSecond(autk.SelfPage+autk.Forwarded, autk.Cycles),
 			Faults:       autk.SelfPage + autk.Forwarded,
 		}
+	})
+	for _, row := range rows {
 		res.Rows = append(res.Rows, row)
 		slows = append(slows, row.Slowdown)
 		elides = append(elides, row.SlowdownElid)

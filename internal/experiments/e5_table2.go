@@ -71,18 +71,47 @@ func variantName(i int) string {
 	return [...]string{"unprotected", "autarky", "no-upcall", "no-upcall/AEX"}[i]
 }
 
-// RunE5 executes all three scenarios.
+// e5Cell is one (workload, variant) measurement.
+type e5Cell struct {
+	variant E5Variant
+	managed int
+}
+
+// RunE5 executes all three scenarios. Every (workload, variant) column is
+// an independent cell on the ambient pool — 12 machines in total.
 func RunE5(p E5Params) E5Result {
-	return E5Result{Rows: []E5Row{
-		runE5JPEG(p),
-		runE5Hunspell(p),
-		runE5FreeType(p),
-	}}
+	kinds := []struct {
+		workload string
+		unit     string
+		run      func(E5Params, int) e5Cell
+	}{
+		{"libjpeg", "MB/s", runE5JPEGVariant},
+		{"Hunspell", "kwd/s", runE5HunspellVariant},
+		{"FreeType", "kop/s", runE5FreeTypeVariant},
+	}
+	nv := len(e5Variants())
+	cells := runCells("E5", len(kinds)*nv, func(i int) e5Cell {
+		return kinds[i/nv].run(p, i%nv)
+	})
+	var res E5Result
+	for w, kind := range kinds {
+		row := E5Row{Workload: kind.workload, Unit: kind.unit}
+		for v := 0; v < nv; v++ {
+			c := cells[w*nv+v]
+			row.Variants = append(row.Variants, c.variant)
+			if c.managed > 0 {
+				row.ManagedPages = c.managed
+			}
+		}
+		fillVsBase(&row)
+		res.Rows = append(res.Rows, row)
+	}
+	return res
 }
 
 // --- libjpeg -----------------------------------------------------------
 
-func runE5JPEG(p E5Params) E5Row {
+func runE5JPEGVariant(p E5Params, vi int) e5Cell {
 	jcfg := workloads.JPEGConfig{
 		BlocksW:             64,
 		BlocksH:             p.JPEGBlocksH,
@@ -98,66 +127,62 @@ func runE5JPEG(p E5Params) E5Row {
 	quota := 12 + jcfg.TmpPages + inPages + 8 + outPages/4
 	imageBytes := float64(outPages * 4096)
 
-	row := E5Row{Workload: "libjpeg", Unit: "MB/s"}
-	for i, rc := range e5Variants() {
-		rc.Policy = libos.PolicyRateLimit
-		rc.RateBurst = 1 << 40
-		rc.QuotaPages = quota
-		rc.HeapPages = heap
-		img := libos.AppImage{
-			Name:      "libjpeg",
-			Libraries: []libos.Library{{Name: "libjpeg.so", Pages: 4}},
-			HeapPages: heap,
+	rc := e5Variants()[vi]
+	rc.Policy = libos.PolicyRateLimit
+	rc.RateBurst = 1 << 40
+	rc.QuotaPages = quota
+	rc.HeapPages = heap
+	img := libos.AppImage{
+		Name:      "libjpeg",
+		Libraries: []libos.Library{{Name: "libjpeg.so", Pages: 4}},
+		HeapPages: heap,
+	}
+	var cycles uint64
+	managed := 0
+	res := RunApp(img, rc, func(proc *libos.Process, ctx *core.Context) {
+		j, err := workloads.BuildJPEG(proc, proc.Kernel.Clock, jcfg)
+		if err != nil {
+			panic(err)
 		}
-		var cycles uint64
-		managed := 0
-		res := RunApp(img, rc, func(proc *libos.Process, ctx *core.Context) {
-			j, err := workloads.BuildJPEG(proc, proc.Kernel.Clock, jcfg)
-			if err != nil {
+		if rc.SelfPaging {
+			// The enlightened change (paper's 2 LoC): pin the
+			// access-pattern-sensitive working buffers, and release the
+			// decoded output buffer — whose access pattern is data
+			// independent — to OS management for ordinary paging.
+			if err := ctx.ManagePages(j.TmpPages(), mmu.PermRW, true); err != nil {
 				panic(err)
 			}
-			if rc.SelfPaging {
-				// The enlightened change (paper's 2 LoC): pin the
-				// access-pattern-sensitive working buffers, and release the
-				// decoded output buffer — whose access pattern is data
-				// independent — to OS management for ordinary paging.
-				if err := ctx.ManagePages(j.TmpPages(), mmu.PermRW, true); err != nil {
-					panic(err)
-				}
-				if err := ctx.ReleasePages(j.OutPages()); err != nil {
-					panic(err)
-				}
-				if err := proc.Runtime.EnsurePinnedResident(); err != nil {
-					panic(err)
-				}
-				managed = proc.Runtime.ResidentManagedPages()
+			if err := ctx.ReleasePages(j.OutPages()); err != nil {
+				panic(err)
 			}
-			clk := proc.Kernel.Clock
-			t0 := clk.Cycles()
-			j.Decode(ctx)
-			j.Invert(ctx)
-			j.Encode(ctx)
-			cycles = clk.Cycles() - t0
-		})
-		if res.Err != nil {
-			panic(fmt.Sprintf("E5 libjpeg %s: %v", variantName(i), res.Err))
+			if err := proc.Runtime.EnsurePinnedResident(); err != nil {
+				panic(err)
+			}
+			managed = proc.Runtime.ResidentManagedPages()
 		}
-		row.Variants = append(row.Variants, E5Variant{
-			Name:       variantName(i),
+		clk := proc.Kernel.Clock
+		t0 := clk.Cycles()
+		j.Decode(ctx)
+		j.Invert(ctx)
+		j.Encode(ctx)
+		cycles = clk.Cycles() - t0
+	})
+	if res.Err != nil {
+		panic(fmt.Sprintf("E5 libjpeg %s: %v", variantName(vi), res.Err))
+	}
+	return e5Cell{
+		variant: E5Variant{
+			Name:       variantName(vi),
 			Throughput: imageBytes / 1e6 / Seconds(cycles),
 			Faults:     res.Faults,
-		})
-		if managed > 0 {
-			row.ManagedPages = managed
-		}
+		},
+		managed: managed,
 	}
-	fillVsBase(&row)
-	return row
 }
 
 // --- Hunspell ------------------------------------------------------------
 
-func runE5Hunspell(p E5Params) E5Row {
+func runE5HunspellVariant(p E5Params, vi int) e5Cell {
 	hcfg := workloads.HunspellConfig{
 		Langs:          make([]string, p.HunspellDicts),
 		WordsPerDict:   1500,
@@ -172,118 +197,110 @@ func runE5Hunspell(p E5Params) E5Row {
 	heap := totalDictPages + 16
 	quota := 12 + totalDictPages/4
 
-	row := E5Row{Workload: "Hunspell", Unit: "kwd/s"}
-	for i, rc := range e5Variants() {
-		rc.Policy = libos.PolicyClusters
-		rc.QuotaPages = quota
-		rc.HeapPages = heap
-		img := libos.AppImage{
-			Name:      "hunspell",
-			Libraries: []libos.Library{{Name: "libhunspell.so", Pages: 6}},
-			HeapPages: heap,
+	rc := e5Variants()[vi]
+	rc.Policy = libos.PolicyClusters
+	rc.QuotaPages = quota
+	rc.HeapPages = heap
+	img := libos.AppImage{
+		Name:      "hunspell",
+		Libraries: []libos.Library{{Name: "libhunspell.so", Pages: 6}},
+		HeapPages: heap,
+	}
+	var cycles uint64
+	words := 0
+	managed := 0
+	res := RunApp(img, rc, func(proc *libos.Process, ctx *core.Context) {
+		clk := proc.Kernel.Clock
+		// Pessimistically include dictionary loading, like the paper.
+		t0 := clk.Cycles()
+		h, err := workloads.BuildHunspell(proc, ctx, hcfg)
+		if err != nil {
+			panic(err)
 		}
-		var cycles uint64
-		words := 0
-		managed := 0
-		res := RunApp(img, rc, func(proc *libos.Process, ctx *core.Context) {
-			clk := proc.Kernel.Clock
-			// Pessimistically include dictionary loading, like the paper.
-			t0 := clk.Cycles()
-			h, err := workloads.BuildHunspell(proc, ctx, hcfg)
-			if err != nil {
-				panic(err)
-			}
-			if rc.SelfPaging {
-				// Manual clustering: one cluster per dictionary (§7.3).
-				for _, lang := range hcfg.Langs {
-					id := proc.Reg.NewCluster(0)
-					for _, va := range h.Dicts[lang].Pages() {
-						if err := proc.Reg.AddPage(id, va.VPN()); err != nil {
-							panic(err)
-						}
+		if rc.SelfPaging {
+			// Manual clustering: one cluster per dictionary (§7.3).
+			for _, lang := range hcfg.Langs {
+				id := proc.Reg.NewCluster(0)
+				for _, va := range h.Dicts[lang].Pages() {
+					if err := proc.Reg.AddPage(id, va.VPN()); err != nil {
+						panic(err)
 					}
 				}
-				managed = proc.Runtime.ResidentManagedPages()
 			}
-			// The text: words sampled from en_US (assume correct spelling,
-			// like the published attack).
-			rng := sim.NewRand(p.Seed)
-			text := make([]string, p.HunspellWords)
-			for w := range text {
-				text[w] = workloads.Word("en_US", rng.Intn(hcfg.WordsPerDict))
-			}
-			if _, err := h.CheckText(ctx, "en_US", text); err != nil {
-				panic(err)
-			}
-			cycles = clk.Cycles() - t0
-			words = len(text)
-		})
-		if res.Err != nil {
-			panic(fmt.Sprintf("E5 hunspell %s: %v", variantName(i), res.Err))
+			managed = proc.Runtime.ResidentManagedPages()
 		}
-		row.Variants = append(row.Variants, E5Variant{
-			Name:       variantName(i),
+		// The text: words sampled from en_US (assume correct spelling,
+		// like the published attack).
+		rng := sim.NewRand(p.Seed)
+		text := make([]string, p.HunspellWords)
+		for w := range text {
+			text[w] = workloads.Word("en_US", rng.Intn(hcfg.WordsPerDict))
+		}
+		if _, err := h.CheckText(ctx, "en_US", text); err != nil {
+			panic(err)
+		}
+		cycles = clk.Cycles() - t0
+		words = len(text)
+	})
+	if res.Err != nil {
+		panic(fmt.Sprintf("E5 hunspell %s: %v", variantName(vi), res.Err))
+	}
+	return e5Cell{
+		variant: E5Variant{
+			Name:       variantName(vi),
 			Throughput: float64(words) / 1e3 / Seconds(cycles),
 			Faults:     res.Faults,
-		})
-		if managed > 0 {
-			row.ManagedPages = managed
-		}
+		},
+		managed: managed,
 	}
-	fillVsBase(&row)
-	return row
 }
 
 // --- FreeType -------------------------------------------------------------
 
-func runE5FreeType(p E5Params) E5Row {
-	row := E5Row{Workload: "FreeType", Unit: "kop/s"}
-	for i, rc := range e5Variants() {
-		rc.Policy = libos.PolicyPinAll
-		// Everything pinned and resident: no quota pressure.
-		img := libos.AppImage{
-			Name:      "freetype",
-			Libraries: []libos.Library{workloads.FreeTypeLibrary(4)},
-			HeapPages: 16,
+func runE5FreeTypeVariant(p E5Params, vi int) e5Cell {
+	rc := e5Variants()[vi]
+	rc.Policy = libos.PolicyPinAll
+	// Everything pinned and resident: no quota pressure.
+	img := libos.AppImage{
+		Name:      "freetype",
+		Libraries: []libos.Library{workloads.FreeTypeLibrary(4)},
+		HeapPages: 16,
+	}
+	var cycles uint64
+	ops := 0
+	managed := 0
+	res := RunApp(img, rc, func(proc *libos.Process, ctx *core.Context) {
+		ft, err := workloads.BuildFreeType(proc, 4)
+		if err != nil {
+			panic(err)
 		}
-		var cycles uint64
-		ops := 0
-		managed := 0
-		res := RunApp(img, rc, func(proc *libos.Process, ctx *core.Context) {
-			ft, err := workloads.BuildFreeType(proc, 4)
-			if err != nil {
-				panic(err)
-			}
-			if rc.SelfPaging {
-				managed = proc.Runtime.ResidentManagedPages()
-			}
-			rng := sim.NewRand(p.Seed)
-			text := make([]byte, p.FreeTypeChars)
-			for j := range text {
-				text[j] = byte(0x20 + rng.Intn(workloads.FreeTypeGlyphs))
-			}
-			clk := proc.Kernel.Clock
-			t0 := clk.Cycles()
-			if err := ft.RenderText(ctx, string(text)); err != nil {
-				panic(err)
-			}
-			cycles = clk.Cycles() - t0
-			ops = len(text)
-		})
-		if res.Err != nil {
-			panic(fmt.Sprintf("E5 freetype %s: %v", variantName(i), res.Err))
+		if rc.SelfPaging {
+			managed = proc.Runtime.ResidentManagedPages()
 		}
-		row.Variants = append(row.Variants, E5Variant{
-			Name:       variantName(i),
+		rng := sim.NewRand(p.Seed)
+		text := make([]byte, p.FreeTypeChars)
+		for j := range text {
+			text[j] = byte(0x20 + rng.Intn(workloads.FreeTypeGlyphs))
+		}
+		clk := proc.Kernel.Clock
+		t0 := clk.Cycles()
+		if err := ft.RenderText(ctx, string(text)); err != nil {
+			panic(err)
+		}
+		cycles = clk.Cycles() - t0
+		ops = len(text)
+	})
+	if res.Err != nil {
+		panic(fmt.Sprintf("E5 freetype %s: %v", variantName(vi), res.Err))
+	}
+	return e5Cell{
+		variant: E5Variant{
+			Name:       variantName(vi),
 			Throughput: float64(ops) / 1e3 / Seconds(cycles),
 			Faults:     res.Faults,
-		})
-		if managed > 0 {
-			row.ManagedPages = managed
-		}
+		},
+		managed: managed,
 	}
-	fillVsBase(&row)
-	return row
 }
 
 func fillVsBase(row *E5Row) {

@@ -62,20 +62,29 @@ func RunE6(p E6Params) E6Result {
 		func(s uint64) ycsb.Generator { return ycsb.NewHotspot(p.Items, 0.01, 0.99, s) },
 	}
 
+	// One cell per (distribution, configuration) grid point; the baseline
+	// normalization is applied after ordered collection.
+	type e6CellOut struct {
+		dist string
+		rate float64
+	}
+	nc := len(e6Configs)
+	cells := runCells("E6", len(gens)*nc, func(i int) e6CellOut {
+		gi, ci := i/nc, i%nc
+		gen := gens[gi](p.Seed + uint64(gi))
+		rate := runE6Cell(p, mcfg, arena, quota, e6Configs[ci], gen)
+		return e6CellOut{dist: gen.Name(), rate: rate}
+	})
 	var res E6Result
-	for gi, mkGen := range gens {
-		var baseRate float64
+	for gi := range gens {
+		baseRate := cells[gi*nc].rate
 		for ci, cfg := range e6Configs {
-			gen := mkGen(p.Seed + uint64(gi))
-			rate := runE6Cell(p, mcfg, arena, quota, cfg, gen)
-			if ci == 0 {
-				baseRate = rate
-			}
+			c := cells[gi*nc+ci]
 			res.Rows = append(res.Rows, E6Row{
-				Distribution: gen.Name(),
+				Distribution: c.dist,
 				Config:       cfg,
-				ReqPerSec:    rate,
-				VsBaseline:   rate / baseRate,
+				ReqPerSec:    c.rate,
+				VsBaseline:   c.rate / baseRate,
 			})
 		}
 	}

@@ -35,21 +35,21 @@ func RunE6Mixed(p E6Params) E6mResult {
 	arena := workloads.MemcachedArenaPages(mcfg)
 	quota := 12 + arena*190/400
 
-	var res E6mResult
-	for _, wl := range []struct {
+	workloadMixes := []struct {
 		name      string
 		readRatio float64
 	}{
 		{"YCSB-A (50/50)", 0.5},
 		{"YCSB-B (95/5)", 0.95},
-	} {
-		for _, cfg := range e6Configs {
-			gen := ycsb.NewZipfian(p.Items, 0.99, p.Seed)
-			rate := runE6MixedCell(p, mcfg, arena, quota, cfg, wl.readRatio, gen)
-			res.Rows = append(res.Rows, E6mRow{Workload: wl.name, Config: cfg, ReqPerSec: rate})
-		}
 	}
-	return res
+	nc := len(e6Configs)
+	rows := runCells("E6m", len(workloadMixes)*nc, func(i int) E6mRow {
+		wl, cfg := workloadMixes[i/nc], e6Configs[i%nc]
+		gen := ycsb.NewZipfian(p.Items, 0.99, p.Seed)
+		rate := runE6MixedCell(p, mcfg, arena, quota, cfg, wl.readRatio, gen)
+		return E6mRow{Workload: wl.name, Config: cfg, ReqPerSec: rate}
+	})
+	return E6mResult{Rows: rows}
 }
 
 func runE6MixedCell(p E6Params, mcfg workloads.MemcachedConfig, arena, quota int, cfg string, readRatio float64, gen ycsb.Generator) float64 {

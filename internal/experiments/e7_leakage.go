@@ -61,18 +61,18 @@ func RunE7Leakage() E7cResult {
 	heap := totalPages + 16
 	const queries = 48
 
-	var res E7cResult
-	for _, pol := range []struct {
+	policies := []struct {
 		name string
 		rc   RunConfig
 	}{
 		{"pin-all", RunConfig{SelfPaging: true, Policy: libos.PolicyPinAll, HeapPages: heap}},
 		{"clusters(dict)", RunConfig{SelfPaging: true, Policy: libos.PolicyClusters, HeapPages: heap, QuotaPages: 12 + totalPages/3}},
 		{"rate-limit", RunConfig{SelfPaging: true, Policy: libos.PolicyRateLimit, RateBurst: 1 << 40, HeapPages: heap, QuotaPages: 12 + totalPages/3}},
-	} {
-		res.Rows = append(res.Rows, runE7cPolicy(pol.name, pol.rc, hcfg, corpus, queries))
 	}
-	return res
+	rows := runCells("E7c", len(policies), func(i int) E7cRow {
+		return runE7cPolicy(policies[i].name, policies[i].rc, hcfg, corpus, queries)
+	})
+	return E7cResult{Rows: rows}
 }
 
 func runE7cPolicy(name string, rc RunConfig, hcfg workloads.HunspellConfig, corpus, queries int) E7cRow {

@@ -46,15 +46,19 @@ type E7Result struct {
 	Scenarios []E7Scenario
 }
 
-// RunE7 executes all scenarios.
+// RunE7 executes all scenarios, one independent cell per attack (each cell
+// runs its own vanilla and Autarky victim machines).
 func RunE7() E7Result {
-	return E7Result{Scenarios: []E7Scenario{
-		runE7Hunspell(),
-		runE7WrongMap(),
-		runE7FreeType(),
-		runE7JPEG(),
-		runE7ADBits(),
-	}}
+	scenarios := []func() E7Scenario{
+		runE7Hunspell,
+		runE7WrongMap,
+		runE7FreeType,
+		runE7JPEG,
+		runE7ADBits,
+	}
+	return E7Result{Scenarios: runCells("E7", len(scenarios), func(i int) E7Scenario {
+		return scenarios[i]()
+	})}
 }
 
 // runE7WrongMap is the remaining §2.2 induction variant — the OS maps a

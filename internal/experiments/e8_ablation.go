@@ -62,28 +62,39 @@ func RunE8(rounds int) E8Result {
 		{"elide-AEX", func() RunConfig { rc := base; rc.ElideAEX = true; return rc }()},
 		{"classic-ocalls", func() RunConfig { rc := base; rc.ClassicOCalls = true; return rc }()},
 	}
-	for _, mech := range []core.Mech{core.MechSGX1, core.MechSGX2} {
-		var first float64
-		for i, v := range variants {
-			rc := v.rc
-			rc.Mech = mech
-			r := runE8Sweep(rc, rounds)
-			per := float64(r.Cycles) / float64(r.SelfPage)
-			if i == 0 {
-				first = per
-			}
+	// One cell per (mechanism, variant) fault-path point; the vs-baseline
+	// ratio is computed after ordered collection.
+	mechs := []core.Mech{core.MechSGX1, core.MechSGX2}
+	type e8fp struct {
+		variant, mech string
+		per           float64
+	}
+	nv := len(variants)
+	fp := runCells("E8-faultpath", len(mechs)*nv, func(i int) e8fp {
+		mech, v := mechs[i/nv], variants[i%nv]
+		rc := v.rc
+		rc.Mech = mech
+		r := runE8Sweep(rc, rounds)
+		return e8fp{variant: v.name, mech: mech.String(), per: float64(r.Cycles) / float64(r.SelfPage)}
+	})
+	for mi := range mechs {
+		first := fp[mi*nv].per
+		for vi := 0; vi < nv; vi++ {
+			c := fp[mi*nv+vi]
 			res.FaultPath = append(res.FaultPath, E8FaultPath{
-				Variant:       v.name,
-				Mech:          mech.String(),
-				CyclesPerFlt:  per,
-				VsUnoptimized: per / first,
+				Variant:       c.variant,
+				Mech:          c.mech,
+				CyclesPerFlt:  c.per,
+				VsUnoptimized: c.per / first,
 			})
 		}
 	}
 
 	// Eviction policy: the same locality-friendly kernel under the legacy
-	// kernel's CLOCK and Autarky's FIFO.
-	for _, k := range []workloads.Kernel{workloads.PARSEC()[0] /* btrack */, workloads.Phoenix()[0] /* kmeans */} {
+	// kernel's CLOCK and Autarky's FIFO. One cell per kernel.
+	kernels := []workloads.Kernel{workloads.PARSEC()[0] /* btrack */, workloads.Phoenix()[0] /* kmeans */}
+	evictions := runCells("E8-eviction", len(kernels), func(i int) [2]E8Eviction {
+		k := kernels[i]
 		quota := 12 + int(float64(k.ArenaPages)*E4QuotaFraction)
 		legacy := RunKernel(k, RunConfig{SelfPaging: false, QuotaPages: quota}, 1, 0xE8)
 		autk := RunKernel(k, RunConfig{
@@ -93,9 +104,13 @@ func RunE8(rounds int) E8Result {
 		if legacy.Err != nil || autk.Err != nil {
 			panic(fmt.Sprintf("E8 eviction %s: %v %v", k.Name, legacy.Err, autk.Err))
 		}
-		res.Eviction = append(res.Eviction,
-			E8Eviction{App: k.Name, Policy: "CLOCK (legacy)", Faults: legacy.Faults, PageIns: legacy.OSPageIns},
-			E8Eviction{App: k.Name, Policy: "FIFO (autarky)", Faults: autk.Faults, PageIns: autk.Fetched})
+		return [2]E8Eviction{
+			{App: k.Name, Policy: "CLOCK (legacy)", Faults: legacy.Faults, PageIns: legacy.OSPageIns},
+			{App: k.Name, Policy: "FIFO (autarky)", Faults: autk.Faults, PageIns: autk.Fetched},
+		}
+	})
+	for _, pair := range evictions {
+		res.Eviction = append(res.Eviction, pair[0], pair[1])
 	}
 	return res
 }

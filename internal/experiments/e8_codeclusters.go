@@ -39,11 +39,11 @@ type E8bResult struct {
 // choices. Two font libraries contend for an EPC quota that holds only one
 // of them plus slack, so code pages must page in and out.
 func RunE8CodeClusters(chars int) E8bResult {
-	var res E8bResult
-	for _, g := range []string{"pinned", "per-library", "per-function"} {
-		res.Rows = append(res.Rows, runE8bOne(g, chars))
-	}
-	return res
+	granularities := []string{"pinned", "per-library", "per-function"}
+	rows := runCells("E8b", len(granularities), func(i int) E8bRow {
+		return runE8bOne(granularities[i], chars)
+	})
+	return E8bResult{Rows: rows}
 }
 
 func runE8bOne(granularity string, chars int) E8bRow {

@@ -32,10 +32,12 @@ type E9Result struct {
 	Rows []E9Row
 }
 
-// RunE9 sweeps the transition-cost multiplier.
+// RunE9 sweeps the transition-cost multiplier; every point of the
+// sensitivity grid is an independent cell.
 func RunE9() E9Result {
-	var res E9Result
-	for _, pct := range []int{50, 75, 100, 150} {
+	pcts := []int{50, 75, 100, 150}
+	rows := runCells("E9", len(pcts), func(i int) E9Row {
+		pct := pcts[i]
 		costs := sim.DefaultCosts()
 		scale := func(v uint64) uint64 { return v * uint64(pct) / 100 }
 		costs.EENTER = scale(costs.EENTER)
@@ -45,13 +47,13 @@ func RunE9() E9Result {
 		costs.EWB = scale(costs.EWB)
 		costs.ELDU = scale(costs.ELDU)
 
-		res.Rows = append(res.Rows, E9Row{
+		return E9Row{
 			ScalePct:         pct,
 			JPEGOverheadPct:  e9JPEGOverhead(costs),
 			TransitionsShare: e9TransitionShare(costs),
-		})
-	}
-	return res
+		}
+	})
+	return E9Result{Rows: rows}
 }
 
 // e9JPEGOverhead re-runs a reduced Table-2 libjpeg comparison under the

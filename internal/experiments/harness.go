@@ -27,6 +27,9 @@ const EPCFrames = 1 << 16
 
 func newBareMachine(costs sim.Costs) *bareMachine {
 	clock := sim.NewClock()
+	// The ambient per-cell cycle budget (see SetCellBudget): a runaway
+	// cell aborts its own machine instead of hanging the suite.
+	clock.SetLimit(CellBudget())
 	c := costs
 	pt := mmu.NewPageTable(clock, &c)
 	tlb := mmu.NewTLB(64, 4, clock, &c)

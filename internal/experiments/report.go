@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -20,7 +21,8 @@ const ClockHz = 3.0e9
 // Seconds converts cycles to modelled seconds.
 func Seconds(cycles uint64) float64 { return float64(cycles) / ClockHz }
 
-// PerSecond converts an event count over a cycle span to a rate.
+// PerSecond converts an event count over a cycle span to a rate. A zero
+// cycle span yields 0 (no measurement), never ±Inf or NaN.
 func PerSecond(events, cycles uint64) float64 {
 	if cycles == 0 {
 		return 0
@@ -28,28 +30,62 @@ func PerSecond(events, cycles uint64) float64 {
 	return float64(events) / Seconds(cycles)
 }
 
-// Geomean returns the geometric mean of xs.
+// Geomean returns the geometric mean of xs. The geometric mean is defined
+// only for positive inputs; an empty slice or any zero/negative element
+// returns 0 rather than propagating -Inf/NaN through report arithmetic
+// (cycle ratios are positive whenever the underlying runs completed, so a
+// non-positive element always means "no valid measurement").
 func Geomean(xs []float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
 	s := 0.0
 	for _, x := range xs {
+		if x <= 0 || math.IsNaN(x) {
+			return 0
+		}
 		s += math.Log(x)
 	}
 	return math.Exp(s / float64(len(xs)))
 }
 
-// Table is a printable result table.
+// Table is a printable result table. The JSON field names are the schema
+// consumed by the BENCH_*.json trajectory; keep them stable.
 type Table struct {
-	Title  string
-	Note   string
-	Header []string
-	Rows   [][]string
+	Title  string     `json:"title"`
+	Note   string     `json:"note,omitempty"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
 }
 
 // AddRow appends a row.
 func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// WriteJSON emits the table as one JSON object.
+func (t *Table) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// Report aggregates the tables of one autarky-bench invocation for
+// structured output (-format json). Schema:
+//
+//	{"tables": [{"title": "...", "note": "...",
+//	             "header": ["col", ...], "rows": [["cell", ...], ...]}]}
+type Report struct {
+	Tables []*Table `json:"tables"`
+}
+
+// Add appends a table to the report.
+func (r *Report) Add(t *Table) { r.Tables = append(r.Tables, t) }
+
+// WriteJSON emits the whole report as one JSON object.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
 
 // Fprint renders the table with aligned columns.
 func (t *Table) Fprint(w io.Writer) {

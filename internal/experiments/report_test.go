@@ -1,7 +1,10 @@
 package experiments
 
 import (
+	"bytes"
+	"encoding/json"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -15,6 +18,45 @@ func TestGeomean(t *testing.T) {
 	}
 	if g := Geomean([]float64{1, 1, 1}); math.Abs(g-1) > 1e-12 {
 		t.Fatalf("unit Geomean = %v", g)
+	}
+}
+
+func TestGeomeanNonPositiveInputs(t *testing.T) {
+	// The geometric mean is undefined at or below zero; the contract is a
+	// plain 0, never -Inf or NaN leaking into reports.
+	cases := [][]float64{
+		{0},
+		{4, 0, 9},
+		{-1},
+		{2, -8},
+		{math.NaN()},
+		{1, math.NaN(), 3},
+	}
+	for _, xs := range cases {
+		g := Geomean(xs)
+		if g != 0 {
+			t.Errorf("Geomean(%v) = %v, want 0", xs, g)
+		}
+		if math.IsNaN(g) || math.IsInf(g, 0) {
+			t.Errorf("Geomean(%v) produced non-finite %v", xs, g)
+		}
+	}
+	// A tiny positive value is legitimate and must not be zeroed.
+	if g := Geomean([]float64{1e-300, 1e-300}); g <= 0 {
+		t.Errorf("Geomean(tiny) = %v, want > 0", g)
+	}
+}
+
+func TestPerSecondEdgeCases(t *testing.T) {
+	if r := PerSecond(0, uint64(ClockHz)); r != 0 {
+		t.Fatalf("PerSecond(0, 3e9) = %v", r)
+	}
+	if r := PerSecond(0, 0); r != 0 {
+		t.Fatalf("PerSecond(0, 0) = %v", r)
+	}
+	r := PerSecond(^uint64(0), 1)
+	if math.IsNaN(r) || math.IsInf(r, 0) {
+		t.Fatalf("PerSecond(max, 1) non-finite: %v", r)
 	}
 }
 
@@ -82,6 +124,50 @@ func TestTableRendering(t *testing.T) {
 	}
 	if strings.Index(hdr, "b") <= 0 || strings.Index(row, "1") <= 0 {
 		t.Fatalf("unexpected layout:\n%s", out)
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	tab := &Table{
+		Title:  "demo",
+		Note:   "a note",
+		Header: []string{"col-a", "b"},
+	}
+	tab.AddRow("x", "123456")
+	tab.AddRow("longer-cell", "1")
+	rep := &Report{}
+	rep.Add(tab)
+	rep.Add(&Table{Title: "empty", Header: []string{"h"}})
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report JSON does not parse: %v\n%s", err, buf.String())
+	}
+	if len(back.Tables) != 2 {
+		t.Fatalf("%d tables after round trip", len(back.Tables))
+	}
+	if !reflect.DeepEqual(back.Tables[0], tab) {
+		t.Fatalf("table did not survive the round trip:\n got %+v\nwant %+v", back.Tables[0], tab)
+	}
+	if back.Tables[1].Note != "" {
+		t.Fatalf("empty note not omitted/restored: %+v", back.Tables[1])
+	}
+
+	// Single-table form.
+	buf.Reset()
+	if err := tab.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var one Table
+	if err := json.Unmarshal(buf.Bytes(), &one); err != nil {
+		t.Fatalf("table JSON does not parse: %v", err)
+	}
+	if !reflect.DeepEqual(&one, tab) {
+		t.Fatalf("single table round trip:\n got %+v\nwant %+v", &one, tab)
 	}
 }
 

@@ -1,0 +1,151 @@
+// Package runner schedules independent experiment cells across a bounded
+// worker pool. Every cell of the evaluation builds its own simulated
+// machine (clock, EPC, kernel) and shares no state with its siblings, so
+// the suite is embarrassingly parallel: the runner changes wall-clock
+// time, never a reported cycle count.
+//
+// Guarantees:
+//
+//   - Ordered collection: Run returns one Result per Job, in job order,
+//     regardless of completion order.
+//   - Panic isolation: a job that panics yields a Result with a
+//     *PanicError instead of killing the suite.
+//   - Cancellation: a cancelled context stops unstarted jobs (their
+//     results carry ctx.Err()); running jobs finish normally.
+//   - Budgets: Job.Budget is a cooperative cycle limit delivered to the
+//     job through its context (BudgetFrom); the simulation's clock
+//     enforces it by panicking with a limit error the pool converts into
+//     an error result.
+//   - Determinism: with one worker, jobs run inline on the calling
+//     goroutine in order — byte-for-byte the sequential behaviour. With N
+//     workers the results are identical because jobs are independent and
+//     collection is ordered.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Job is one independent unit of work.
+type Job struct {
+	// Name labels the job in results and panic reports.
+	Name string
+	// Budget is an optional cooperative cycle budget (0 = unlimited),
+	// readable inside Fn via BudgetFrom(ctx).
+	Budget uint64
+	// Fn performs the work. It must not share mutable state with other
+	// jobs; the pool provides no synchronization beyond completion.
+	Fn func(ctx context.Context) (any, error)
+}
+
+// Result is the outcome of one job.
+type Result struct {
+	Name  string
+	Index int // index of the job in the submitted slice
+	Value any
+	Err   error
+}
+
+// PanicError wraps a recovered job panic.
+type PanicError struct {
+	Job   string
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runner: job %s panicked: %v", e.Job, e.Value)
+}
+
+type budgetKey struct{}
+
+// BudgetFrom reports the cycle budget attached to a job's context
+// (0 = unlimited).
+func BudgetFrom(ctx context.Context) uint64 {
+	if v, ok := ctx.Value(budgetKey{}).(uint64); ok {
+		return v
+	}
+	return 0
+}
+
+// Pool is a bounded worker pool. The zero value is not usable; call New.
+type Pool struct {
+	workers int
+}
+
+// New returns a pool with the given concurrency. workers <= 0 selects
+// GOMAXPROCS.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers reports the pool's concurrency bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// Run executes the jobs and returns their results in job order.
+func (p *Pool) Run(ctx context.Context, jobs []Job) []Result {
+	results := make([]Result, len(jobs))
+	if p.workers == 1 {
+		for i, j := range jobs {
+			results[i] = runOne(ctx, i, j)
+		}
+		return results
+	}
+	feed := make(chan int)
+	var wg sync.WaitGroup
+	workers := p.workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range feed {
+				results[i] = runOne(ctx, i, jobs[i])
+			}
+		}()
+	}
+	for i := range jobs {
+		feed <- i
+	}
+	close(feed)
+	wg.Wait()
+	return results
+}
+
+// Run is a convenience for New(workers).Run.
+func Run(ctx context.Context, workers int, jobs []Job) []Result {
+	return New(workers).Run(ctx, jobs)
+}
+
+// runOne executes a single job with panic recovery and cancellation.
+func runOne(ctx context.Context, index int, j Job) (res Result) {
+	res = Result{Name: j.Name, Index: index}
+	if err := ctx.Err(); err != nil {
+		res.Err = err
+		return res
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if err, ok := r.(error); ok {
+				res.Err = fmt.Errorf("runner: job %s: %w", j.Name, err)
+				return
+			}
+			res.Err = &PanicError{Job: j.Name, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	jctx := ctx
+	if j.Budget > 0 {
+		jctx = context.WithValue(ctx, budgetKey{}, j.Budget)
+	}
+	res.Value, res.Err = j.Fn(jctx)
+	return res
+}

@@ -1,0 +1,169 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"autarky/internal/sim"
+)
+
+func TestRunOrderedResults(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		jobs := make([]Job, 20)
+		for i := range jobs {
+			i := i
+			jobs[i] = Job{
+				Name: fmt.Sprintf("job-%d", i),
+				Fn:   func(context.Context) (any, error) { return i * i, nil },
+			}
+		}
+		results := New(workers).Run(context.Background(), jobs)
+		if len(results) != len(jobs) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(results), len(jobs))
+		}
+		for i, r := range results {
+			if r.Err != nil {
+				t.Fatalf("workers=%d: job %d: %v", workers, i, r.Err)
+			}
+			if r.Index != i || r.Value.(int) != i*i || r.Name != fmt.Sprintf("job-%d", i) {
+				t.Fatalf("workers=%d: result %d out of order: %+v", workers, i, r)
+			}
+		}
+	}
+}
+
+func TestPanicIsolation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		jobs := []Job{
+			{Name: "ok-1", Fn: func(context.Context) (any, error) { return "a", nil }},
+			{Name: "boom", Fn: func(context.Context) (any, error) { panic("cell exploded") }},
+			{Name: "ok-2", Fn: func(context.Context) (any, error) { return "b", nil }},
+		}
+		results := New(workers).Run(context.Background(), jobs)
+		if results[0].Err != nil || results[2].Err != nil {
+			t.Fatalf("workers=%d: healthy jobs failed: %v %v", workers, results[0].Err, results[2].Err)
+		}
+		var pe *PanicError
+		if !errors.As(results[1].Err, &pe) {
+			t.Fatalf("workers=%d: want PanicError, got %v", workers, results[1].Err)
+		}
+		if pe.Job != "boom" || len(pe.Stack) == 0 {
+			t.Fatalf("workers=%d: panic not attributed: %+v", workers, pe)
+		}
+	}
+}
+
+func TestErrorPanicIsUnwrappable(t *testing.T) {
+	sentinel := errors.New("sentinel")
+	results := New(2).Run(context.Background(), []Job{
+		{Name: "errpanic", Fn: func(context.Context) (any, error) { panic(sentinel) }},
+	})
+	if !errors.Is(results[0].Err, sentinel) {
+		t.Fatalf("error panic lost its cause: %v", results[0].Err)
+	}
+}
+
+func TestCancellationSkipsUnstartedJobs(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ran atomic.Int32
+	jobs := make([]Job, 50)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job{
+			Name: fmt.Sprintf("c-%d", i),
+			Fn: func(context.Context) (any, error) {
+				if i == 0 {
+					cancel()
+				}
+				ran.Add(1)
+				return nil, nil
+			},
+		}
+	}
+	results := New(1).Run(ctx, jobs)
+	if results[0].Err != nil {
+		t.Fatalf("first job should complete: %v", results[0].Err)
+	}
+	var cancelled int
+	for _, r := range results[1:] {
+		if errors.Is(r.Err, context.Canceled) {
+			cancelled++
+		}
+	}
+	if cancelled != len(jobs)-1 {
+		t.Fatalf("%d jobs cancelled, want %d (ran=%d)", cancelled, len(jobs)-1, ran.Load())
+	}
+}
+
+func TestBudgetReachesJobAndClockEnforcesIt(t *testing.T) {
+	jobs := []Job{
+		{Name: "unbounded", Fn: func(ctx context.Context) (any, error) {
+			return BudgetFrom(ctx), nil
+		}},
+		{Name: "bounded", Budget: 12345, Fn: func(ctx context.Context) (any, error) {
+			return BudgetFrom(ctx), nil
+		}},
+		{Name: "overrun", Budget: 1000, Fn: func(ctx context.Context) (any, error) {
+			clk := sim.NewClock()
+			clk.SetLimit(BudgetFrom(ctx))
+			for i := 0; i < 100; i++ {
+				clk.Advance(100) // crosses the 1000-cycle budget
+			}
+			return clk.Cycles(), nil
+		}},
+	}
+	results := New(2).Run(context.Background(), jobs)
+	if got := results[0].Value.(uint64); got != 0 {
+		t.Fatalf("unbounded job saw budget %d", got)
+	}
+	if got := results[1].Value.(uint64); got != 12345 {
+		t.Fatalf("bounded job saw budget %d, want 12345", got)
+	}
+	var le *sim.LimitError
+	if !errors.As(results[2].Err, &le) {
+		t.Fatalf("overrun not converted to LimitError: %v", results[2].Err)
+	}
+	if le.Limit != 1000 || le.At <= le.Limit {
+		t.Fatalf("bad limit error: %+v", le)
+	}
+}
+
+func TestWorkersDefaultsAndConvenience(t *testing.T) {
+	if New(0).Workers() < 1 {
+		t.Fatal("New(0) must pick a positive worker count")
+	}
+	if New(7).Workers() != 7 {
+		t.Fatal("New(7) ignored the request")
+	}
+	results := Run(context.Background(), 3, []Job{
+		{Name: "one", Fn: func(context.Context) (any, error) { return 1, nil }},
+	})
+	if len(results) != 1 || results[0].Value.(int) != 1 {
+		t.Fatalf("convenience Run: %+v", results)
+	}
+}
+
+func TestManyJobsFewWorkersUnderLoad(t *testing.T) {
+	// More jobs than workers: every job must still run exactly once.
+	var ran atomic.Int32
+	jobs := make([]Job, 200)
+	for i := range jobs {
+		jobs[i] = Job{Name: "n", Fn: func(context.Context) (any, error) {
+			ran.Add(1)
+			return nil, nil
+		}}
+	}
+	results := New(4).Run(context.Background(), jobs)
+	if int(ran.Load()) != len(jobs) {
+		t.Fatalf("ran %d of %d", ran.Load(), len(jobs))
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+}

@@ -18,13 +18,36 @@ import "fmt"
 // goroutines mutating a shared clock.
 type Clock struct {
 	cycles uint64
+	limit  uint64
 }
 
 // NewClock returns a clock at cycle zero.
 func NewClock() *Clock { return &Clock{} }
 
+// LimitError is the panic value raised when a clock crosses its cycle
+// limit. The experiment runner recovers it into an error result, so a
+// runaway cell aborts its own machine without killing the suite.
+type LimitError struct {
+	Limit uint64 // the armed budget
+	At    uint64 // the cycle count that crossed it
+}
+
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("sim: cycle limit %d exceeded at cycle %d", e.Limit, e.At)
+}
+
+// SetLimit arms a cooperative cycle budget: once the clock accumulates
+// more than limit cycles, Advance panics with a *LimitError. A limit of
+// zero disarms the budget.
+func (c *Clock) SetLimit(limit uint64) { c.limit = limit }
+
 // Advance adds n cycles to the clock.
-func (c *Clock) Advance(n uint64) { c.cycles += n }
+func (c *Clock) Advance(n uint64) {
+	c.cycles += n
+	if c.limit != 0 && c.cycles > c.limit {
+		panic(&LimitError{Limit: c.limit, At: c.cycles})
+	}
+}
 
 // Cycles reports the current cycle count.
 func (c *Clock) Cycles() uint64 { return c.cycles }

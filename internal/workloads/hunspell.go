@@ -80,9 +80,11 @@ func BuildHunspell(p *libos.Process, ctx *core.Context, cfg HunspellConfig) (*Hu
 			}
 		}
 		// Populate: write every chain node (touches pages like the real
-		// table build).
-		for b, words := range d.wordsPerBkt {
-			for i := range words {
+		// table build). Walk buckets in index order — map iteration order
+		// would make the fault sequence, and hence every cycle count,
+		// nondeterministic across runs.
+		for b := 0; b < d.Buckets; b++ {
+			for i := range d.wordsPerBkt[b] {
 				ctx.Store(d.nodePage(b, i))
 			}
 		}
