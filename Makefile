@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench
+.PHONY: all build test race vet fmt metriclint check bench
 
 all: build
 
@@ -27,7 +27,12 @@ fmt:
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
-# check is the CI gate: formatting, static analysis, build, and the full
-# test suite under the race detector.
-check: fmt vet build race
+# metriclint rejects unattributed Clock.Advance call sites inside the
+# instrumented simulation packages (see DESIGN.md, Observability).
+metriclint:
+	$(GO) run ./tools/metriclint
+
+# check is the CI gate: formatting, static analysis, attribution lint,
+# build, and the full test suite under the race detector.
+check: fmt vet metriclint build race
 	@echo "all checks passed"

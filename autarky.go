@@ -37,6 +37,7 @@ import (
 	"autarky/internal/core"
 	"autarky/internal/hostos"
 	"autarky/internal/libos"
+	"autarky/internal/metrics"
 	"autarky/internal/mmu"
 	"autarky/internal/pagestore"
 	"autarky/internal/sgx"
@@ -71,6 +72,46 @@ type (
 	// Cluster API (Table 1).
 	ClusterID       = cluster.ID
 	ClusterRegistry = cluster.Registry
+
+	// Observability types (see Machine.Metrics).
+	MetricsSnapshot = metrics.Snapshot
+	MetricCounter   = metrics.Counter
+	CycleCategory   = sim.Category
+	CycleBuckets    = sim.Buckets
+
+	// ConfigError reports which Config field Validate rejected; it unwraps
+	// to ErrBadConfig.
+	ConfigError = libos.ConfigError
+)
+
+// Cycle-attribution categories: every cycle the machine's clock advances is
+// charged to exactly one of these, and a snapshot's attribution always sums
+// to the machine's total cycles.
+const (
+	CatCompute = sim.CatCompute
+	CatPaging  = sim.CatPaging
+	CatCrypto  = sim.CatCrypto
+	CatFault   = sim.CatFault
+	CatPolicy  = sim.CatPolicy
+)
+
+// Error taxonomy. Every sentinel works with errors.Is through arbitrary
+// wrapping; ConfigError and TerminationError additionally work with
+// errors.As.
+var (
+	// ErrEPCExhausted is the root class for EPC capacity failures.
+	ErrEPCExhausted = core.ErrEPCExhausted
+	// ErrEPCPressure marks a driver fetch refused because the enclave's
+	// quota holds only pinned pages; it wraps ErrEPCExhausted.
+	ErrEPCPressure = core.ErrEPCPressure
+	// ErrRateLimited marks a paging-policy refusal under the §5.2.4 fault
+	// bound (the runtime terminates the enclave when it surfaces).
+	ErrRateLimited = core.ErrRateLimited
+	// ErrQuotaExceeded marks libOS allocations beyond a configured bound
+	// (heap pages, ELRANGE growth reserve).
+	ErrQuotaExceeded = libos.ErrQuotaExceeded
+	// ErrBadConfig is the class of Config.Validate rejections.
+	ErrBadConfig = libos.ErrBadConfig
 )
 
 // Policy kinds for Config.Policy.
@@ -124,10 +165,14 @@ func withEPCBase(base mmu.PFN) Option { return func(c *machineConfig) { c.epcBas
 // and scaled-down experiments use fewer.
 func WithEPCFrames(n int) Option { return func(c *machineConfig) { c.epcFrames = n } }
 
-// WithTLB sets the TLB geometry (sets × ways). Default 64×4.
-func WithTLB(sets, ways int) Option {
+// WithTLBGeometry sets the TLB geometry (sets × ways). Default 64×4.
+func WithTLBGeometry(sets, ways int) Option {
 	return func(c *machineConfig) { c.tlbSets, c.tlbWays = sets, ways }
 }
+
+// WithTLB is the original name of WithTLBGeometry, kept as an alias so
+// existing callers compile unchanged.
+func WithTLB(sets, ways int) Option { return WithTLBGeometry(sets, ways) }
 
 // WithCosts overrides the calibrated cycle cost model.
 func WithCosts(costs sim.Costs) Option { return func(c *machineConfig) { c.costs = costs } }
@@ -180,3 +225,12 @@ func (m *Machine) LoadApp(img AppImage, cfg Config) (*Process, error) {
 
 // Cycles reports the machine's logical time.
 func (m *Machine) Cycles() uint64 { return m.Clock.Cycles() }
+
+// Metrics returns an immutable snapshot of the machine's metrics: total
+// cycles, their attribution across the cycle categories, and every event
+// counter the simulation maintains. Snapshots taken at the same logical
+// time are identical; Snapshot.Check verifies the attribution invariant
+// sum(buckets) == cycles.
+func (m *Machine) Metrics() MetricsSnapshot {
+	return metrics.Of(m.Clock).Snapshot()
+}

@@ -48,8 +48,8 @@ func (h *Hypervisor) CreateGuest(frames int, opts ...Option) (*Machine, error) {
 		return nil, fmt.Errorf("autarky: guest needs a positive EPC share")
 	}
 	if frames > h.remaining {
-		return nil, fmt.Errorf("autarky: EPC exhausted: %d frames requested, %d remain of %d",
-			frames, h.remaining, h.totalFrames)
+		return nil, fmt.Errorf("%w: %d frames requested, %d remain of %d",
+			ErrEPCExhausted, frames, h.remaining, h.totalFrames)
 	}
 	base := h.nextFrame
 	h.nextFrame += mmu.PFN(frames)

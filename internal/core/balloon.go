@@ -1,6 +1,11 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"autarky/internal/metrics"
+	"autarky/internal/sim"
+)
 
 // This file implements the memory-management upcall the paper sketches and
 // defers to future work (§5.2.1: under pressure the OS "can upcall the
@@ -27,6 +32,10 @@ func (r *Runtime) BalloonRequest(want int) (int, error) {
 	if _, in := r.CPU.InEnclave(); in {
 		return 0, fmt.Errorf("core: BalloonRequest during enclave execution")
 	}
+	r.m.Inc(metrics.CntBalloonRequests)
+	// Everything the upcall does — victim selection and the eviction dance —
+	// is paging work, even though no fault triggered it.
+	defer r.Clock.SetCategory(r.Clock.SetCategory(sim.CatPaging))
 	victims := r.Policy.PickVictims(r, want)
 	if len(victims) == 0 {
 		return 0, nil
@@ -45,6 +54,7 @@ func (r *Runtime) BalloonRequest(want int) (int, error) {
 		return 0, err
 	}
 	r.Stats.BalloonEvictions += uint64(len(victims))
+	r.m.Add(metrics.CntBalloonEvictions, uint64(len(victims)))
 	return len(victims), nil
 }
 

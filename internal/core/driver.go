@@ -9,16 +9,24 @@ package core
 
 import (
 	"errors"
+	"fmt"
 
 	"autarky/internal/mmu"
 	"autarky/internal/pagestore"
 	"autarky/internal/sgx"
 )
 
+// ErrEPCExhausted is the root sentinel for EPC capacity failures: no
+// resident frame can be found or freed to satisfy a request, whether
+// against an enclave's quota or the physical EPC. Match it with errors.Is
+// to catch every capacity-shaped failure regardless of which layer
+// produced it.
+var ErrEPCExhausted = errors.New("autarky: EPC exhausted")
+
 // ErrEPCPressure is returned by Driver.FetchPages when the enclave's EPC
 // quota is exhausted and only pinned pages remain: the runtime must
-// ay_evict_pages of its own before retrying.
-var ErrEPCPressure = errors.New("autarky: EPC quota exhausted, enclave must evict")
+// ay_evict_pages of its own before retrying. It wraps ErrEPCExhausted.
+var ErrEPCPressure = fmt.Errorf("%w: quota reached and only pinned pages resident, enclave must evict", ErrEPCExhausted)
 
 // PageStatus reports a page's residence at the time its management was
 // transferred to the enclave (returned by ay_set_enclave_managed so the

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"autarky/internal/mmu"
+	"autarky/internal/sim"
 )
 
 // This file implements the SGXv2 software self-paging path (paper §6): the
@@ -41,7 +42,9 @@ func (r *Runtime) fetchSGX2(pages []mmu.VAddr) error {
 				// Tampered or replayed content: integrity violation.
 				return fmt.Errorf("core: page %s: %w", va, err)
 			}
-			r.Clock.Advance(r.Costs.SWDecryptPage)
+			// Software decryption is crypto work, like ELDU's hardware
+			// decrypt-and-verify on the SGXv1 path.
+			r.Clock.ChargeAs(sim.CatCrypto, r.Costs.SWDecryptPage)
 		}
 		if err := r.CPU.EACCEPTCOPY(va, pfns[i], plain, pi.perms); err != nil {
 			return err
@@ -70,7 +73,8 @@ func (r *Runtime) evictSGX2(pages []mmu.VAddr) error {
 			return err
 		}
 		pi.version++
-		r.Clock.Advance(r.Costs.SWEncryptPage)
+		// Software sealing is crypto work, like EWB's re-encryption.
+		r.Clock.ChargeAs(sim.CatCrypto, r.Costs.SWEncryptPage)
 		blob, err := sealer.Seal(va, pi.version, data)
 		if err != nil {
 			return err

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"autarky/internal/cluster"
+	"autarky/internal/metrics"
 	"autarky/internal/mmu"
 )
 
@@ -104,9 +105,11 @@ func (p *RateLimitPolicy) admit(r *Runtime, va mmu.VAddr) error {
 	p.faults++
 	allowed := float64(p.Burst) + p.FaultsPerProgress*float64(r.Progress())
 	if float64(p.faults) > allowed {
+		r.m.Inc(metrics.CntRateStalls)
 		return fmt.Errorf("%w: %d faults exceed bound %.0f at progress %d (page %s)",
 			ErrRateLimited, p.faults, allowed, r.Progress(), va)
 	}
+	r.m.Inc(metrics.CntRateGrants)
 	return nil
 }
 
@@ -243,7 +246,7 @@ func (p *ClusterPolicy) OnOSFault(r *Runtime, va mmu.VAddr) error {
 }
 
 // OnFetched implements Policy: record fetched clusters in FIFO order.
-func (p *ClusterPolicy) OnFetched(_ *Runtime, pages []mmu.VAddr) {
+func (p *ClusterPolicy) OnFetched(r *Runtime, pages []mmu.VAddr) {
 	seen := make(map[cluster.ID]struct{})
 	for _, id := range p.fifo {
 		seen[id] = struct{}{}
@@ -253,13 +256,24 @@ func (p *ClusterPolicy) OnFetched(_ *Runtime, pages []mmu.VAddr) {
 			if _, dup := seen[id]; !dup {
 				seen[id] = struct{}{}
 				p.fifo = append(p.fifo, id)
+				r.m.Inc(metrics.CntClusterSwapIns)
 			}
 		}
 	}
 }
 
-// OnEvicted implements Policy.
-func (*ClusterPolicy) OnEvicted(*Runtime, []mmu.VAddr) {}
+// OnEvicted implements Policy: count the distinct clusters leaving EPC.
+func (p *ClusterPolicy) OnEvicted(r *Runtime, pages []mmu.VAddr) {
+	seen := make(map[cluster.ID]struct{})
+	for _, va := range pages {
+		for _, id := range p.Reg.GetClusterIDs(va.VPN()) {
+			if _, dup := seen[id]; !dup {
+				seen[id] = struct{}{}
+				r.m.Inc(metrics.CntClusterSwapOuts)
+			}
+		}
+	}
+}
 
 // --- ORAM front (§5.2.2) -----------------------------------------------------
 

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"autarky/internal/metrics"
 	"autarky/internal/mmu"
 	"autarky/internal/sgx"
 	"autarky/internal/sim"
@@ -57,6 +58,8 @@ type Runtime struct {
 
 	Stats RuntimeStats
 
+	m *metrics.Metrics
+
 	enclave *sgx.Enclave
 	pages   map[uint64]*pageInfo
 	// fifo orders resident non-pinned enclave-managed pages for the default
@@ -78,6 +81,7 @@ func NewRuntime(cpu *sgx.CPU, driver Driver, clock *sim.Clock, costs *sim.Costs)
 		Costs:         costs,
 		Policy:        NewPinAllPolicy(),
 		HandlerCycles: 1200,
+		m:             metrics.Of(clock),
 		pages:         make(map[uint64]*pageInfo),
 	}
 }
@@ -241,8 +245,9 @@ func (r *Runtime) OnEntry(tcs *sgx.TCS) {
 // either terminates (attack), self-pages (legitimate enclave-managed
 // fault), or forwards to the OS (OS-managed page).
 func (r *Runtime) handleFault(f mmu.Fault) {
-	r.Clock.Advance(r.HandlerCycles)
+	r.Clock.ChargeAs(sim.CatFault, r.HandlerCycles)
 	r.Stats.HandlerInvocations++
+	r.m.Inc(metrics.CntHandlerRuns)
 
 	va := f.Addr.PageBase()
 	if !r.enclave.Contains(va) {
@@ -256,6 +261,7 @@ func (r *Runtime) handleFault(f mmu.Fault) {
 	if pi == nil {
 		// OS-managed page: forward, subject to policy (rate limiting).
 		r.Stats.ForwardedFaults++
+		r.m.Inc(metrics.CntForwardedFaults)
 		if err := r.Policy.OnOSFault(r, va); err != nil {
 			r.CPU.Terminate(sgx.TerminateRateLimit, err.Error())
 		}
@@ -275,6 +281,7 @@ func (r *Runtime) handleFault(f mmu.Fault) {
 
 	// Legitimate self-paging fault.
 	r.Stats.SelfFaults++
+	r.m.Inc(metrics.CntSelfFaults)
 	fetch, err := r.Policy.PlanFetch(r, va)
 	if err != nil {
 		if errors.Is(err, ErrRateLimited) {
@@ -290,6 +297,7 @@ func (r *Runtime) handleFault(f mmu.Fault) {
 
 func (r *Runtime) detectAttack(detail string) {
 	r.Stats.AttacksDetected++
+	r.m.Inc(metrics.CntAttacksDetected)
 	r.CPU.Terminate(sgx.TerminateAttackDetected, detail)
 }
 
@@ -297,6 +305,10 @@ func (r *Runtime) detectAttack(detail string) {
 // when the quota is tight. Pages already resident are skipped (closure
 // fetches routinely include them).
 func (r *Runtime) fetchPages(pages []mmu.VAddr) error {
+	// Everything below — driver round trips, evictions, the SGX2 software
+	// path — is page-movement work unless a nested charge (crypto, policy)
+	// overrides.
+	defer r.Clock.SetCategory(r.Clock.SetCategory(sim.CatPaging))
 	want := make([]mmu.VAddr, 0, len(pages))
 	for _, va := range pages {
 		pi := r.pages[va.VPN()]
@@ -355,6 +367,7 @@ func (r *Runtime) fetchPages(pages []mmu.VAddr) error {
 			r.fifo = append(r.fifo, va.VPN())
 		}
 		r.Stats.FetchedPages++
+		r.m.Inc(metrics.CntPagesFetched)
 	}
 	r.Policy.OnFetched(r, want)
 	return nil
@@ -363,6 +376,7 @@ func (r *Runtime) fetchPages(pages []mmu.VAddr) error {
 // evictPages writes a set of enclave-managed pages out through the selected
 // mechanism and updates tracking.
 func (r *Runtime) evictPages(pages []mmu.VAddr) error {
+	defer r.Clock.SetCategory(r.Clock.SetCategory(sim.CatPaging))
 	out := make([]mmu.VAddr, 0, len(pages))
 	for _, va := range pages {
 		pi := r.pages[va.VPN()]
@@ -387,6 +401,7 @@ func (r *Runtime) evictPages(pages []mmu.VAddr) error {
 	for _, va := range out {
 		r.pages[va.VPN()].resident = false
 		r.Stats.EvictedPages++
+		r.m.Inc(metrics.CntPagesEvicted)
 	}
 	r.Policy.OnEvicted(r, out)
 	return nil

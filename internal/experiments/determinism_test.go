@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -58,16 +59,30 @@ func renderTable(tab *Table) string {
 	return sb.String()
 }
 
+// renderJSON serializes the table the way autarky-bench -format json does,
+// which includes the per-cell metrics section — so this comparison covers
+// the metrics determinism contract, not just the text rows.
+func renderJSON(t *testing.T, tab *Table) string {
+	b, err := json.Marshal(tab)
+	if err != nil {
+		t.Fatalf("marshal table: %v", err)
+	}
+	return string(b)
+}
+
 func TestExperimentsByteIdenticalAcrossJobsAndRuns(t *testing.T) {
 	t.Cleanup(func() { SetJobs(0) })
 	for _, tc := range determinismCases() {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
 			SetJobs(1)
-			seq := renderTable(tc.run())
-			rerun := renderTable(tc.run())
+			tabSeq := tc.run()
+			seq, seqJSON := renderTable(tabSeq), renderJSON(t, tabSeq)
+			tabRerun := tc.run()
+			rerun := renderTable(tabRerun)
 			SetJobs(8)
-			par := renderTable(tc.run())
+			tabPar := tc.run()
+			par, parJSON := renderTable(tabPar), renderJSON(t, tabPar)
 
 			if seq != rerun {
 				t.Errorf("two sequential same-seed runs differ:\n--- first ---\n%s\n--- second ---\n%s", seq, rerun)
@@ -75,8 +90,20 @@ func TestExperimentsByteIdenticalAcrossJobsAndRuns(t *testing.T) {
 			if seq != par {
 				t.Errorf("jobs=1 vs jobs=8 differ:\n--- jobs=1 ---\n%s\n--- jobs=8 ---\n%s", seq, par)
 			}
+			if seqJSON != parJSON {
+				t.Errorf("JSON (incl. metrics) jobs=1 vs jobs=8 differ:\n--- jobs=1 ---\n%s\n--- jobs=8 ---\n%s", seqJSON, parJSON)
+			}
 			if !strings.Contains(seq, "== ") || !strings.Contains(seq, "\n") {
 				t.Errorf("suspiciously empty table:\n%s", seq)
+			}
+
+			// Every experiment reports per-cell metrics, and every recorded
+			// machine satisfies the attribution invariant.
+			if len(tabSeq.Metrics) == 0 {
+				t.Fatalf("%s reports no cell metrics", tc.name)
+			}
+			if err := CheckAttribution(tabSeq.Metrics); err != nil {
+				t.Errorf("attribution invariant: %v", err)
 			}
 		})
 	}

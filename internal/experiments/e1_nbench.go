@@ -28,6 +28,7 @@ type E1Result struct {
 	GeomeanPct  float64
 	PaperPct    float64 // the paper's reported number, for the report
 	TSGXPercent float64 // T-SGX's reported overhead (competing defense)
+	Metrics     []CellMetrics
 }
 
 // e1Cell is one kernel's measurement pair (base vs A/D check).
@@ -41,10 +42,12 @@ type e1Cell struct {
 func RunE1(scale int) E1Result {
 	res := E1Result{PaperPct: 0.07, TSGXPercent: 50}
 	kernels := workloads.NBench()
-	cells := runCells("E1", len(kernels), func(i int) e1Cell {
+	cells, cm := runCells("E1", len(kernels), func(i int, rec *cellRecorder) e1Cell {
 		k := kernels[i]
 		base := runE1Kernel(k, scale, 0)
 		withAD := runE1Kernel(k, scale, 10)
+		rec.record("base", base.Metrics)
+		rec.record("ad", withAD.Metrics)
 		if base.Err != nil || withAD.Err != nil {
 			panic(fmt.Sprintf("E1 %s failed: %v %v", k.Name, base.Err, withAD.Err))
 		}
@@ -60,6 +63,7 @@ func RunE1(scale int) E1Result {
 			ratio: slow,
 		}
 	})
+	res.Metrics = cm
 	var ratios []float64
 	for _, c := range cells {
 		ratios = append(ratios, c.ratio)
@@ -96,5 +100,6 @@ func (r E1Result) Table() *Table {
 	}
 	t.AddRow("GEOMEAN", "", "", "", fmt.Sprintf("%.3f%% (paper: %.2f%%; T-SGX: ~%.0f%%)",
 		r.GeomeanPct, r.PaperPct, r.TSGXPercent))
+	t.Metrics = r.Metrics
 	return t
 }

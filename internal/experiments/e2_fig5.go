@@ -32,7 +32,8 @@ type E2Stack struct {
 
 // E2Result holds all four bars.
 type E2Result struct {
-	Stacks []E2Stack
+	Stacks  []E2Stack
+	Metrics []CellMetrics
 }
 
 // RunE2 executes the microbenchmark: a round-robin sweep over a heap much
@@ -41,9 +42,10 @@ type E2Result struct {
 func RunE2(rounds int) E2Result {
 	costs := sim.DefaultCosts()
 	mechs := []core.Mech{core.MechSGX1, core.MechSGX2}
-	cells := runCells("E2", len(mechs), func(i int) [2]E2Stack {
+	cells, cm := runCells("E2", len(mechs), func(i int, rec *cellRecorder) [2]E2Stack {
 		mech := mechs[i]
 		res := runE2Sweep(mech, rounds)
+		rec.record("", res.Metrics)
 		perFault := float64(res.Cycles) / float64(res.SelfPage)
 		fault := analyticFaultStack(&costs, mech)
 		fault.Measured = perFault
@@ -52,7 +54,7 @@ func RunE2(rounds int) E2Result {
 		evict.FaultsRun = res.Evicted
 		return [2]E2Stack{fault, evict}
 	})
-	var out E2Result
+	out := E2Result{Metrics: cm}
 	for _, pair := range cells {
 		out.Stacks = append(out.Stacks, pair[0], pair[1])
 	}
@@ -142,5 +144,6 @@ func (r E2Result) Table() *Table {
 			fmt.Sprintf("%d", s.Total),
 			measured)
 	}
+	t.Metrics = r.Metrics
 	return t
 }

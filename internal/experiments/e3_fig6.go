@@ -48,6 +48,7 @@ type E3Result struct {
 	Rehashed     []E3Row // clusters, after rehash
 	ORAMCached   E3Row
 	ORAMUncached E3Row
+	Metrics      []CellMetrics
 }
 
 func uthashCfg(p E3Params) workloads.UTHashConfig {
@@ -85,17 +86,18 @@ func RunE3(p E3Params) E3Result {
 		fresh, rehashed, oram E3Row
 	}
 	n := len(res.ClusterSizes)
-	cells := runCells("E3", n+2, func(i int) e3Cell {
+	cells, cm := runCells("E3", n+2, func(i int, rec *cellRecorder) e3Cell {
 		switch {
 		case i < n:
-			fresh, rehashed := runE3Clusters(p, arena, res.ClusterSizes[i])
+			fresh, rehashed := runE3Clusters(rec, p, arena, res.ClusterSizes[i])
 			return e3Cell{fresh: fresh, rehashed: rehashed}
 		case i == n:
-			return e3Cell{oram: runE3ORAM(p, arena, false)}
+			return e3Cell{oram: runE3ORAM(rec, p, arena, false)}
 		default:
-			return e3Cell{oram: runE3ORAM(p, arena, true)}
+			return e3Cell{oram: runE3ORAM(rec, p, arena, true)}
 		}
 	})
+	res.Metrics = cm
 	for _, c := range cells[:n] {
 		res.Fresh = append(res.Fresh, c.fresh)
 		res.Rehashed = append(res.Rehashed, c.rehashed)
@@ -105,7 +107,7 @@ func RunE3(p E3Params) E3Result {
 	return res
 }
 
-func runE3Clusters(p E3Params, arena, clusterSize int) (fresh, rehashed E3Row) {
+func runE3Clusters(rec *cellRecorder, p E3Params, arena, clusterSize int) (fresh, rehashed E3Row) {
 	rc := RunConfig{
 		SelfPaging:  true,
 		Policy:      libos.PolicyClusters,
@@ -143,6 +145,7 @@ func runE3Clusters(p E3Params, arena, clusterSize int) (fresh, rehashed E3Row) {
 		}
 		cyc2 = clk.Cycles() - t1
 	})
+	rec.record("", result.Metrics)
 	if result.Err != nil {
 		panic(fmt.Sprintf("E3 %s: %v", label, result.Err))
 	}
@@ -151,7 +154,7 @@ func runE3Clusters(p E3Params, arena, clusterSize int) (fresh, rehashed E3Row) {
 	return fresh, rehashed
 }
 
-func runE3ORAM(p E3Params, arena int, uncached bool) E3Row {
+func runE3ORAM(rec *cellRecorder, p E3Params, arena int, uncached bool) E3Row {
 	rc := RunConfig{
 		SelfPaging: true,
 		Policy:     libos.PolicyORAM,
@@ -201,6 +204,7 @@ func runE3ORAM(p E3Params, arena int, uncached bool) E3Row {
 		cycles = clk.Cycles() - t0
 		measured = ops
 	})
+	rec.record("", result.Metrics)
 	if result.Err != nil {
 		panic(fmt.Sprintf("E3 %s: %v", label, result.Err))
 	}
@@ -223,5 +227,6 @@ func (r E3Result) Table() *Table {
 	t.AddRow(r.ORAMCached.Config, F(r.ORAMCached.ReqPerSec), F(r.ORAMCached.CyclesPerc))
 	t.AddRow(r.ORAMUncached.Config, F(r.ORAMUncached.ReqPerSec), F(r.ORAMUncached.CyclesPerc))
 	t.AddRow("cached/uncached ratio", F(r.ORAMCached.ReqPerSec/r.ORAMUncached.ReqPerSec)+"x", "(paper: ~232x)")
+	t.Metrics = r.Metrics
 	return t
 }

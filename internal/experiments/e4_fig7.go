@@ -33,6 +33,7 @@ type E4Result struct {
 	Rows         []E4Row
 	GeomeanSlow  float64
 	GeomeanElide float64
+	Metrics      []CellMetrics
 }
 
 // E4QuotaFraction restricts resident pages to this fraction of each
@@ -45,7 +46,7 @@ func RunE4(scale int) E4Result {
 	var res E4Result
 	var slows, elides []float64
 	apps := append(workloads.Phoenix(), workloads.PARSEC()...)
-	rows := runCells("E4", len(apps), func(i int) E4Row {
+	rows, cm := runCells("E4", len(apps), func(i int, rec *cellRecorder) E4Row {
 		k := apps[i]
 		quota := 12 + int(float64(k.ArenaPages)*E4QuotaFraction)
 		seed := uint64(0xE4000 + i)
@@ -69,6 +70,9 @@ func RunE4(scale int) E4Result {
 			EvictBatch: 16,
 			ElideAEX:   true,
 		}, scale, seed)
+		rec.record("base", base.Metrics)
+		rec.record("autk", autk.Metrics)
+		rec.record("elide", elide.Metrics)
 		for _, r := range []RunResult{base, autk, elide} {
 			if r.Err != nil {
 				panic(fmt.Sprintf("E4 %s (%s): %v", k.Name, r.Label, r.Err))
@@ -85,6 +89,7 @@ func RunE4(scale int) E4Result {
 			Faults:       autk.SelfPage + autk.Forwarded,
 		}
 	})
+	res.Metrics = cm
 	for _, row := range rows {
 		res.Rows = append(res.Rows, row)
 		slows = append(slows, row.Slowdown)
@@ -112,5 +117,6 @@ func (r E4Result) Table() *Table {
 			F(row.FaultsPerSec/1000))
 	}
 	t.AddRow("GEOMEAN", "", "", Pct(r.GeomeanSlow), Pct(r.GeomeanElide), "", "")
+	t.Metrics = r.Metrics
 	return t
 }

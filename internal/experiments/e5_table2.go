@@ -5,6 +5,7 @@ import (
 
 	"autarky/internal/core"
 	"autarky/internal/libos"
+	"autarky/internal/metrics"
 	"autarky/internal/mmu"
 	"autarky/internal/sim"
 	"autarky/internal/workloads"
@@ -41,7 +42,8 @@ type E5Row struct {
 
 // E5Result is the experiment output.
 type E5Result struct {
-	Rows []E5Row
+	Rows    []E5Row
+	Metrics []CellMetrics
 }
 
 // E5Params scales the scenarios.
@@ -75,6 +77,7 @@ func variantName(i int) string {
 type e5Cell struct {
 	variant E5Variant
 	managed int
+	m       metrics.Snapshot
 }
 
 // RunE5 executes all three scenarios. Every (workload, variant) column is
@@ -90,10 +93,12 @@ func RunE5(p E5Params) E5Result {
 		{"FreeType", "kop/s", runE5FreeTypeVariant},
 	}
 	nv := len(e5Variants())
-	cells := runCells("E5", len(kinds)*nv, func(i int) e5Cell {
-		return kinds[i/nv].run(p, i%nv)
+	cells, cm := runCells("E5", len(kinds)*nv, func(i int, rec *cellRecorder) e5Cell {
+		c := kinds[i/nv].run(p, i%nv)
+		rec.record("", c.m)
+		return c
 	})
-	var res E5Result
+	res := E5Result{Metrics: cm}
 	for w, kind := range kinds {
 		row := E5Row{Workload: kind.workload, Unit: kind.unit}
 		for v := 0; v < nv; v++ {
@@ -177,6 +182,7 @@ func runE5JPEGVariant(p E5Params, vi int) e5Cell {
 			Faults:     res.Faults,
 		},
 		managed: managed,
+		m:       res.Metrics,
 	}
 }
 
@@ -252,6 +258,7 @@ func runE5HunspellVariant(p E5Params, vi int) e5Cell {
 			Faults:     res.Faults,
 		},
 		managed: managed,
+		m:       res.Metrics,
 	}
 }
 
@@ -300,6 +307,7 @@ func runE5FreeTypeVariant(p E5Params, vi int) e5Cell {
 			Faults:     res.Faults,
 		},
 		managed: managed,
+		m:       res.Metrics,
 	}
 }
 
@@ -326,5 +334,6 @@ func (r E5Result) Table() *Table {
 		cells = append(cells, fmt.Sprintf("%d", row.Variants[1].Faults))
 		t.AddRow(cells...)
 	}
+	t.Metrics = r.Metrics
 	return t
 }

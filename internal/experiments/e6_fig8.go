@@ -43,7 +43,8 @@ type E6Row struct {
 
 // E6Result is the experiment output.
 type E6Result struct {
-	Rows []E6Row
+	Rows    []E6Row
+	Metrics []CellMetrics
 }
 
 // e6Configs names the four configurations.
@@ -69,13 +70,13 @@ func RunE6(p E6Params) E6Result {
 		rate float64
 	}
 	nc := len(e6Configs)
-	cells := runCells("E6", len(gens)*nc, func(i int) e6CellOut {
+	cells, cm := runCells("E6", len(gens)*nc, func(i int, rec *cellRecorder) e6CellOut {
 		gi, ci := i/nc, i%nc
 		gen := gens[gi](p.Seed + uint64(gi))
-		rate := runE6Cell(p, mcfg, arena, quota, e6Configs[ci], gen)
+		rate := runE6Cell(rec, p, mcfg, arena, quota, e6Configs[ci], gen)
 		return e6CellOut{dist: gen.Name(), rate: rate}
 	})
-	var res E6Result
+	res := E6Result{Metrics: cm}
 	for gi := range gens {
 		baseRate := cells[gi*nc].rate
 		for ci, cfg := range e6Configs {
@@ -91,7 +92,7 @@ func RunE6(p E6Params) E6Result {
 	return res
 }
 
-func runE6Cell(p E6Params, mcfg workloads.MemcachedConfig, arena, quota int, cfg string, gen ycsb.Generator) float64 {
+func runE6Cell(rec *cellRecorder, p E6Params, mcfg workloads.MemcachedConfig, arena, quota int, cfg string, gen ycsb.Generator) float64 {
 	rc := RunConfig{QuotaPages: quota, HeapPages: arena + 16}
 	switch cfg {
 	case "baseline":
@@ -148,6 +149,7 @@ func runE6Cell(p E6Params, mcfg workloads.MemcachedConfig, arena, quota int, cfg
 		cycles = clk.Cycles() - t0
 		served = p.Requests
 	})
+	rec.record("", res.Metrics)
 	if res.Err != nil {
 		panic(fmt.Sprintf("E6 %s/%s: %v", cfg, gen.Name(), res.Err))
 	}
@@ -169,5 +171,6 @@ func (r E6Result) Table() *Table {
 		cells = append(cells, fmt.Sprintf("%.2fx", r.Rows[i+3].VsBaseline))
 		t.AddRow(cells...)
 	}
+	t.Metrics = r.Metrics
 	return t
 }

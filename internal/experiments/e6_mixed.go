@@ -25,7 +25,8 @@ type E6mRow struct {
 
 // E6mResult is the extension output.
 type E6mResult struct {
-	Rows []E6mRow
+	Rows    []E6mRow
+	Metrics []CellMetrics
 }
 
 // RunE6Mixed executes workloads A and B over a Zipfian key distribution for
@@ -43,16 +44,16 @@ func RunE6Mixed(p E6Params) E6mResult {
 		{"YCSB-B (95/5)", 0.95},
 	}
 	nc := len(e6Configs)
-	rows := runCells("E6m", len(workloadMixes)*nc, func(i int) E6mRow {
+	rows, cm := runCells("E6m", len(workloadMixes)*nc, func(i int, rec *cellRecorder) E6mRow {
 		wl, cfg := workloadMixes[i/nc], e6Configs[i%nc]
 		gen := ycsb.NewZipfian(p.Items, 0.99, p.Seed)
-		rate := runE6MixedCell(p, mcfg, arena, quota, cfg, wl.readRatio, gen)
+		rate := runE6MixedCell(rec, p, mcfg, arena, quota, cfg, wl.readRatio, gen)
 		return E6mRow{Workload: wl.name, Config: cfg, ReqPerSec: rate}
 	})
-	return E6mResult{Rows: rows}
+	return E6mResult{Rows: rows, Metrics: cm}
 }
 
-func runE6MixedCell(p E6Params, mcfg workloads.MemcachedConfig, arena, quota int, cfg string, readRatio float64, gen ycsb.Generator) float64 {
+func runE6MixedCell(rec *cellRecorder, p E6Params, mcfg workloads.MemcachedConfig, arena, quota int, cfg string, readRatio float64, gen ycsb.Generator) float64 {
 	rc := RunConfig{QuotaPages: quota, HeapPages: arena + 16}
 	switch cfg {
 	case "baseline":
@@ -107,6 +108,7 @@ func runE6MixedCell(p E6Params, mcfg workloads.MemcachedConfig, arena, quota int
 		}
 		cycles = clk.Cycles() - t0
 	})
+	rec.record("", res.Metrics)
 	if res.Err != nil {
 		panic(fmt.Sprintf("E6m %s: %v", cfg, res.Err))
 	}
@@ -125,5 +127,6 @@ func (r E6mResult) Table() *Table {
 			F(r.Rows[i].ReqPerSec), F(r.Rows[i+1].ReqPerSec),
 			F(r.Rows[i+2].ReqPerSec), F(r.Rows[i+3].ReqPerSec))
 	}
+	t.Metrics = r.Metrics
 	return t
 }

@@ -40,7 +40,8 @@ type E7cRow struct {
 
 // E7cResult is the experiment output.
 type E7cResult struct {
-	Rows []E7cRow
+	Rows    []E7cRow
+	Metrics []CellMetrics
 }
 
 // RunE7Leakage measures the anonymity set per policy on a multi-dictionary
@@ -69,13 +70,13 @@ func RunE7Leakage() E7cResult {
 		{"clusters(dict)", RunConfig{SelfPaging: true, Policy: libos.PolicyClusters, HeapPages: heap, QuotaPages: 12 + totalPages/3}},
 		{"rate-limit", RunConfig{SelfPaging: true, Policy: libos.PolicyRateLimit, RateBurst: 1 << 40, HeapPages: heap, QuotaPages: 12 + totalPages/3}},
 	}
-	rows := runCells("E7c", len(policies), func(i int) E7cRow {
-		return runE7cPolicy(policies[i].name, policies[i].rc, hcfg, corpus, queries)
+	rows, cm := runCells("E7c", len(policies), func(i int, rec *cellRecorder) E7cRow {
+		return runE7cPolicy(rec, policies[i].name, policies[i].rc, hcfg, corpus, queries)
 	})
-	return E7cResult{Rows: rows}
+	return E7cResult{Rows: rows, Metrics: cm}
 }
 
-func runE7cPolicy(name string, rc RunConfig, hcfg workloads.HunspellConfig, corpus, queries int) E7cRow {
+func runE7cPolicy(rec *cellRecorder, name string, rc RunConfig, hcfg workloads.HunspellConfig, corpus, queries int) E7cRow {
 	img := libos.AppImage{
 		Name:      "hunspell",
 		Libraries: []libos.Library{{Name: "libhunspell.so", Pages: 4}},
@@ -152,6 +153,7 @@ func runE7cPolicy(name string, rc RunConfig, hcfg workloads.HunspellConfig, corp
 			ctx.Progress(1)
 		}
 	})
+	rec.recordClock("", p.Kernel.Clock)
 	if runErr != nil {
 		panic(fmt.Sprintf("E7c %s: %v", name, runErr))
 	}
@@ -179,5 +181,6 @@ func (r E7cResult) Table() *Table {
 			F(row.MeanWhenObserved),
 			fmt.Sprintf("%d", row.Corpus))
 	}
+	t.Metrics = r.Metrics
 	return t
 }

@@ -44,27 +44,37 @@ type E7Scenario struct {
 // E7Result is the experiment output.
 type E7Result struct {
 	Scenarios []E7Scenario
+	Metrics   []CellMetrics
 }
 
 // RunE7 executes all scenarios, one independent cell per attack (each cell
 // runs its own vanilla and Autarky victim machines).
 func RunE7() E7Result {
-	scenarios := []func() E7Scenario{
+	scenarios := []func(*cellRecorder) E7Scenario{
 		runE7Hunspell,
 		runE7WrongMap,
 		runE7FreeType,
 		runE7JPEG,
 		runE7ADBits,
 	}
-	return E7Result{Scenarios: runCells("E7", len(scenarios), func(i int) E7Scenario {
-		return scenarios[i]()
-	})}
+	out, cm := runCells("E7", len(scenarios), func(i int, rec *cellRecorder) E7Scenario {
+		return scenarios[i](rec)
+	})
+	return E7Result{Scenarios: out, Metrics: cm}
+}
+
+// e7Sub labels the two victim machines of an attack cell.
+func e7Sub(selfPaging bool) string {
+	if selfPaging {
+		return "autarky"
+	}
+	return "vanilla"
 }
 
 // runE7WrongMap is the remaining §2.2 induction variant — the OS maps a
 // target VA at the wrong frame; the EPCM check faults (the Foreshadow
 // precursor). Same victim and recovery as the unmap tracer.
-func runE7WrongMap() E7Scenario {
+func runE7WrongMap(mrec *cellRecorder) E7Scenario {
 	env := e7HunspellSetup()
 	s := E7Scenario{Name: "hunspell/wrong-mapping"}
 
@@ -107,6 +117,7 @@ func runE7WrongMap() E7Scenario {
 			}
 			w.Disarm(p.Kernel)
 		})
+		mrec.recordClock(e7Sub(selfPaging), p.Kernel.Clock)
 		var term *sgx.TerminationError
 		if errors.As(runErr, &term) {
 			terminated = true
@@ -154,7 +165,7 @@ func e7HunspellSetup() e7HunspellEnv {
 	return e7HunspellEnv{cfg: cfg, secrets: secrets}
 }
 
-func runE7Hunspell() E7Scenario {
+func runE7Hunspell(mrec *cellRecorder) E7Scenario {
 	env := e7HunspellSetup()
 	s := E7Scenario{Name: "hunspell/page-fault-trace"}
 
@@ -203,6 +214,7 @@ func runE7Hunspell() E7Scenario {
 			}
 			tracer.Disarm(p.Kernel)
 		})
+		mrec.recordClock(e7Sub(selfPaging), p.Kernel.Clock)
 		var term *sgx.TerminationError
 		if errors.As(runErr, &term) {
 			terminated = true
@@ -226,7 +238,7 @@ func runE7Hunspell() E7Scenario {
 	return s
 }
 
-func runE7FreeType() E7Scenario {
+func runE7FreeType(mrec *cellRecorder) E7Scenario {
 	s := E7Scenario{Name: "freetype/exec-trace"}
 	secret := "SGX leaks control flow!"
 
@@ -267,6 +279,7 @@ func runE7FreeType() E7Scenario {
 				}
 			}
 		})
+		mrec.recordClock(e7Sub(selfPaging), p.Kernel.Clock)
 		var term *sgx.TerminationError
 		if errors.As(runErr, &term) {
 			return string(recovered), true, term.Reason, allMasked(&p.Kernel.FaultLog, p.Enclave())
@@ -289,7 +302,7 @@ func runE7FreeType() E7Scenario {
 	return s
 }
 
-func runE7JPEG() E7Scenario {
+func runE7JPEG(mrec *cellRecorder) E7Scenario {
 	s := E7Scenario{Name: "libjpeg/idct-fault-count"}
 	jcfg := workloads.JPEGConfig{
 		BlocksW: 16, BlocksH: 12, BusyFraction: 0.35,
@@ -336,6 +349,7 @@ func runE7JPEG() E7Scenario {
 				recovered = append(recovered, busy)
 			}
 		})
+		mrec.recordClock(e7Sub(selfPaging), p.Kernel.Clock)
 		var te *sgx.TerminationError
 		if errors.As(runErr, &te) {
 			return recovered, truth, true, te.Reason
@@ -358,7 +372,7 @@ func runE7JPEG() E7Scenario {
 	return s
 }
 
-func runE7ADBits() E7Scenario {
+func runE7ADBits(mrec *cellRecorder) E7Scenario {
 	env := e7HunspellSetup()
 	s := E7Scenario{Name: "hunspell/a-d-bit-monitor"}
 
@@ -402,6 +416,7 @@ func runE7ADBits() E7Scenario {
 			}
 			monitor.Disarm()
 		})
+		mrec.recordClock(e7Sub(selfPaging), p.Kernel.Clock)
 		faultsSeen = p.Kernel.Stats.EnclaveFaults
 		var te *sgx.TerminationError
 		if errors.As(runErr, &te) {
@@ -483,5 +498,6 @@ func (r E7Result) Table() *Table {
 			outcome,
 			fmt.Sprintf("%v", s.MaskedOnly))
 	}
+	t.Metrics = r.Metrics
 	return t
 }

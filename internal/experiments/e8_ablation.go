@@ -23,6 +23,7 @@ type E8Result struct {
 	FaultPath []E8FaultPath
 	// Fault counts by eviction policy.
 	Eviction []E8Eviction
+	Metrics  []CellMetrics
 }
 
 // E8FaultPath is one optimization level's per-fault cost.
@@ -70,11 +71,12 @@ func RunE8(rounds int) E8Result {
 		per           float64
 	}
 	nv := len(variants)
-	fp := runCells("E8-faultpath", len(mechs)*nv, func(i int) e8fp {
+	fp, fpMetrics := runCells("E8-faultpath", len(mechs)*nv, func(i int, rec *cellRecorder) e8fp {
 		mech, v := mechs[i/nv], variants[i%nv]
 		rc := v.rc
 		rc.Mech = mech
 		r := runE8Sweep(rc, rounds)
+		rec.record("", r.Metrics)
 		return e8fp{variant: v.name, mech: mech.String(), per: float64(r.Cycles) / float64(r.SelfPage)}
 	})
 	for mi := range mechs {
@@ -93,7 +95,7 @@ func RunE8(rounds int) E8Result {
 	// Eviction policy: the same locality-friendly kernel under the legacy
 	// kernel's CLOCK and Autarky's FIFO. One cell per kernel.
 	kernels := []workloads.Kernel{workloads.PARSEC()[0] /* btrack */, workloads.Phoenix()[0] /* kmeans */}
-	evictions := runCells("E8-eviction", len(kernels), func(i int) [2]E8Eviction {
+	evictions, evMetrics := runCells("E8-eviction", len(kernels), func(i int, rec *cellRecorder) [2]E8Eviction {
 		k := kernels[i]
 		quota := 12 + int(float64(k.ArenaPages)*E4QuotaFraction)
 		legacy := RunKernel(k, RunConfig{SelfPaging: false, QuotaPages: quota}, 1, 0xE8)
@@ -101,6 +103,8 @@ func RunE8(rounds int) E8Result {
 			SelfPaging: true, Policy: libos.PolicyRateLimit,
 			RateBurst: 1 << 40, QuotaPages: quota,
 		}, 1, 0xE8)
+		rec.record("legacy", legacy.Metrics)
+		rec.record("autk", autk.Metrics)
 		if legacy.Err != nil || autk.Err != nil {
 			panic(fmt.Sprintf("E8 eviction %s: %v %v", k.Name, legacy.Err, autk.Err))
 		}
@@ -112,6 +116,7 @@ func RunE8(rounds int) E8Result {
 	for _, pair := range evictions {
 		res.Eviction = append(res.Eviction, pair[0], pair[1])
 	}
+	res.Metrics = append(fpMetrics, evMetrics...)
 	return res
 }
 
@@ -143,5 +148,6 @@ func (r E8Result) Table() *Table {
 	for _, e := range r.Eviction {
 		t.AddRow("eviction", e.App+"/"+e.Policy, "faults", fmt.Sprintf("%d", e.Faults), "")
 	}
+	t.Metrics = r.Metrics
 	return t
 }

@@ -32,7 +32,8 @@ type E8bRow struct {
 
 // E8bResult is the ablation output.
 type E8bResult struct {
-	Rows []E8bRow
+	Rows    []E8bRow
+	Metrics []CellMetrics
 }
 
 // RunE8CodeClusters renders a two-font text under three code-clustering
@@ -40,13 +41,13 @@ type E8bResult struct {
 // of them plus slack, so code pages must page in and out.
 func RunE8CodeClusters(chars int) E8bResult {
 	granularities := []string{"pinned", "per-library", "per-function"}
-	rows := runCells("E8b", len(granularities), func(i int) E8bRow {
-		return runE8bOne(granularities[i], chars)
+	rows, cm := runCells("E8b", len(granularities), func(i int, rec *cellRecorder) E8bRow {
+		return runE8bOne(rec, granularities[i], chars)
 	})
-	return E8bResult{Rows: rows}
+	return E8bResult{Rows: rows, Metrics: cm}
 }
 
-func runE8bOne(granularity string, chars int) E8bRow {
+func runE8bOne(rec *cellRecorder, granularity string, chars int) E8bRow {
 	libA := workloads.FreeTypeLibraryNamed("libfontA.so", 2)
 	libB := workloads.FreeTypeLibraryNamed("libfontB.so", 2)
 	if granularity == "per-library" {
@@ -104,6 +105,7 @@ func runE8bOne(granularity string, chars int) E8bRow {
 		cycles = clk.Cycles() - t0
 		ops = chars
 	})
+	rec.record("", result.Metrics)
 	if result.Err != nil {
 		panic(fmt.Sprintf("E8b %s: %v", granularity, result.Err))
 	}
@@ -129,5 +131,6 @@ func (r E8bResult) Table() *Table {
 		t.AddRow(row.Granularity, F(row.KopsPerSec),
 			fmt.Sprintf("%d", row.Faults), F(row.PagesPerFault))
 	}
+	t.Metrics = r.Metrics
 	return t
 }

@@ -29,14 +29,15 @@ type E9Row struct {
 
 // E9Result is the experiment output.
 type E9Result struct {
-	Rows []E9Row
+	Rows    []E9Row
+	Metrics []CellMetrics
 }
 
 // RunE9 sweeps the transition-cost multiplier; every point of the
 // sensitivity grid is an independent cell.
 func RunE9() E9Result {
 	pcts := []int{50, 75, 100, 150}
-	rows := runCells("E9", len(pcts), func(i int) E9Row {
+	rows, cm := runCells("E9", len(pcts), func(i int, rec *cellRecorder) E9Row {
 		pct := pcts[i]
 		costs := sim.DefaultCosts()
 		scale := func(v uint64) uint64 { return v * uint64(pct) / 100 }
@@ -49,16 +50,16 @@ func RunE9() E9Result {
 
 		return E9Row{
 			ScalePct:         pct,
-			JPEGOverheadPct:  e9JPEGOverhead(costs),
+			JPEGOverheadPct:  e9JPEGOverhead(rec, costs),
 			TransitionsShare: e9TransitionShare(costs),
 		}
 	})
-	return E9Result{Rows: rows}
+	return E9Result{Rows: rows, Metrics: cm}
 }
 
 // e9JPEGOverhead re-runs a reduced Table-2 libjpeg comparison under the
 // perturbed costs and returns the autarky-vs-unprotected delta in percent.
-func e9JPEGOverhead(costs sim.Costs) float64 {
+func e9JPEGOverhead(rec *cellRecorder, costs sim.Costs) float64 {
 	run := func(selfPaging bool) uint64 {
 		const heap = 160
 		img := libos.AppImage{
@@ -94,6 +95,7 @@ func e9JPEGOverhead(costs sim.Costs) float64 {
 			}
 			cycles = m.clock.Cycles() - t0
 		})
+		rec.recordClock(e7Sub(selfPaging), m.clock)
 		if err != nil {
 			panic(fmt.Sprintf("E9 run: %v", err))
 		}
@@ -125,5 +127,6 @@ func (r E9Result) Table() *Table {
 			fmt.Sprintf("%.0f%%", row.TransitionsShare*100),
 		)
 	}
+	t.Metrics = r.Metrics
 	return t
 }

@@ -6,6 +6,7 @@ import (
 	"autarky/internal/core"
 	"autarky/internal/hostos"
 	"autarky/internal/libos"
+	"autarky/internal/metrics"
 	"autarky/internal/mmu"
 	"autarky/internal/pagestore"
 	"autarky/internal/sgx"
@@ -96,6 +97,10 @@ type RunResult struct {
 	Resumes   uint64
 	ADChecks  uint64
 	Detected  uint64
+
+	// Metrics is the machine's full metrics snapshot at the end of the run
+	// (including loading), for per-cell reporting and invariant checks.
+	Metrics metrics.Snapshot
 }
 
 // BuildProcess creates a fresh machine and loads an image under rc.
@@ -165,6 +170,7 @@ func RunApp(img libos.AppImage, rc RunConfig, app func(p *libos.Process, ctx *co
 		Resumes:   p.Kernel.CPU.Stats.Resumes,
 		ADChecks:  p.Kernel.CPU.Stats.ADChecks,
 		Detected:  p.Runtime.Stats.AttacksDetected,
+		Metrics:   metrics.Of(clock).Snapshot(),
 	}
 	if runErr == nil && end >= start {
 		res.Cycles = end - start

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+
+	"autarky/internal/metrics"
+	"autarky/internal/sim"
+)
+
+// Every experiment cell runs on its own machine, so its metrics registry is
+// a complete, closed account of that machine's execution. Cells record one
+// snapshot per machine they build (a cell comparing baseline vs Autarky
+// records two, labelled "E4[3]/base" and "E4[3]/autk"); runCells collects
+// them in cell order so the per-cell metrics obey the same byte-identical
+// determinism contract as the tables themselves.
+
+// CellMetrics pairs one machine's end-of-run metrics snapshot with the cell
+// (and sub-run) that produced it.
+type CellMetrics struct {
+	Cell    string           `json:"cell"`
+	Metrics metrics.Snapshot `json:"metrics"`
+}
+
+// cellRecorder collects the snapshots of one experiment cell. A cell runs on
+// a single goroutine, so no locking is needed.
+type cellRecorder struct {
+	name string
+	recs []CellMetrics
+}
+
+// record stores a snapshot under "<cell>/<sub>", or "<cell>" when sub is
+// empty (single-machine cells).
+func (c *cellRecorder) record(sub string, s metrics.Snapshot) {
+	name := c.name
+	if sub != "" {
+		name += "/" + sub
+	}
+	c.recs = append(c.recs, CellMetrics{Cell: name, Metrics: s})
+}
+
+// recordClock snapshots the machine behind clock and records it.
+func (c *cellRecorder) recordClock(sub string, clock *sim.Clock) {
+	c.record(sub, metrics.Of(clock).Snapshot())
+}
+
+// CheckAttribution verifies the cycle-attribution invariant
+// (sum of category buckets == total cycles) for every recorded snapshot.
+func CheckAttribution(cells []CellMetrics) error {
+	if len(cells) == 0 {
+		return fmt.Errorf("experiments: no cell metrics recorded")
+	}
+	for _, cm := range cells {
+		if err := cm.Metrics.Check(); err != nil {
+			return fmt.Errorf("%s: %w", cm.Cell, err)
+		}
+	}
+	return nil
+}
+
+// PagingShare returns the fraction of a snapshot's cycles attributed to
+// paging plus crypto — the "self-paging overhead" the paper's figures plot.
+func PagingShare(s metrics.Snapshot) float64 {
+	return s.Share(sim.CatPaging) + s.Share(sim.CatCrypto)
+}

@@ -50,19 +50,24 @@ func SetCellBudget(cycles uint64) { cellBudget.Store(cycles) }
 func CellBudget() uint64 { return cellBudget.Load() }
 
 // runCells executes cell(0..n-1) as independent runner jobs on the ambient
-// pool and returns the results in cell order. Cells must not share mutable
-// state: each builds its own machine. A cell that panics, errors, or
-// exceeds the cell budget makes runCells panic with the job's error,
-// preserving the sequential Run* contract for callers.
-func runCells[R any](label string, n int, cell func(i int) R) []R {
+// pool and returns the results in cell order, together with every metrics
+// snapshot the cells recorded (also in cell order, so the combined output
+// stays byte-identical at any concurrency). Cells must not share mutable
+// state: each builds its own machine and records it through rec. A cell
+// that panics, errors, or exceeds the cell budget makes runCells panic with
+// the job's error, preserving the sequential Run* contract for callers.
+func runCells[R any](label string, n int, cell func(i int, rec *cellRecorder) R) ([]R, []CellMetrics) {
 	jobs := make([]runner.Job, n)
+	recs := make([]*cellRecorder, n)
 	budget := CellBudget()
 	for i := range jobs {
 		i := i
+		rec := &cellRecorder{name: fmt.Sprintf("%s[%d]", label, i)}
+		recs[i] = rec
 		jobs[i] = runner.Job{
-			Name:   fmt.Sprintf("%s[%d]", label, i),
+			Name:   rec.name,
 			Budget: budget,
-			Fn:     func(context.Context) (any, error) { return cell(i), nil },
+			Fn:     func(context.Context) (any, error) { return cell(i, rec), nil },
 		}
 	}
 	out := make([]R, n)
@@ -72,5 +77,9 @@ func runCells[R any](label string, n int, cell func(i int) R) []R {
 		}
 		out[res.Index] = res.Value.(R)
 	}
-	return out
+	var cm []CellMetrics
+	for _, rec := range recs {
+		cm = append(cm, rec.recs...)
+	}
+	return out, cm
 }

@@ -56,6 +56,11 @@ type Table struct {
 	Note   string     `json:"note,omitempty"`
 	Header []string   `json:"header"`
 	Rows   [][]string `json:"rows"`
+
+	// Metrics carries the per-cell machine metrics behind the table's
+	// numbers. It appears in -format json output only; the text renderer
+	// ignores it.
+	Metrics []CellMetrics `json:"metrics,omitempty"`
 }
 
 // AddRow appends a row.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"autarky/internal/core"
+	"autarky/internal/metrics"
 	"autarky/internal/mmu"
 	"autarky/internal/pagestore"
 	"autarky/internal/sgx"
@@ -21,11 +22,14 @@ import (
 // their TLB flushes) when ClassicOCalls is set — the ablation quantifying
 // why the prototype adopted exitless calls.
 func (k *Kernel) chargeCall() {
+	// Driver calls happen inside fault handling or balloon scopes; the call
+	// overhead inherits whichever category the caller opened.
+	k.m.Inc(metrics.CntDriverCalls)
 	if k.ClassicOCalls {
-		k.Clock.Advance(k.Costs.EEXIT + k.Costs.EENTER + 2*k.Costs.TLBFlushLocal + k.Costs.SyscallRound)
+		k.Clock.ChargeAmbient(k.Costs.EEXIT + k.Costs.EENTER + 2*k.Costs.TLBFlushLocal + k.Costs.SyscallRound)
 		return
 	}
-	k.Clock.Advance(k.Costs.ExitlessCall)
+	k.Clock.ChargeAmbient(k.Costs.ExitlessCall)
 }
 
 func (k *Kernel) page(p *Proc, va mmu.VAddr) (*pageState, error) {
@@ -108,6 +112,7 @@ func (k *Kernel) FetchPages(e *sgx.Enclave, pages []mmu.VAddr) error {
 				return err
 			}
 			k.Stats.DriverFetches++
+			k.m.Inc(metrics.CntDriverFetches)
 		}
 		return nil
 	})
@@ -155,6 +160,7 @@ func (k *Kernel) EvictPages(e *sgx.Enclave, pages []mmu.VAddr) error {
 			ps.pfn = mmu.NoPFN
 			p.resident--
 			k.Stats.DriverEvicts++
+			k.m.Inc(metrics.CntDriverEvicts)
 		}
 		return nil
 	})
@@ -196,6 +202,7 @@ func (k *Kernel) AugPages(e *sgx.Enclave, pages []mmu.VAddr, perms []mmu.Perms) 
 			k.PT.MapAD(va, pfn, pr, true, true, true)
 			pfns = append(pfns, pfn)
 			k.Stats.DriverFetches++
+			k.m.Inc(metrics.CntDriverFetches)
 		}
 		return nil
 	})
@@ -298,6 +305,7 @@ func (k *Kernel) RemovePage(e *sgx.Enclave, va mmu.VAddr) error {
 		ps.pfn = mmu.NoPFN
 		p.resident--
 		k.Stats.DriverEvicts++
+		k.m.Inc(metrics.CntDriverEvicts)
 		return nil
 	})
 }

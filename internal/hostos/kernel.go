@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"autarky/internal/core"
+	"autarky/internal/metrics"
 	"autarky/internal/mmu"
 	"autarky/internal/pagestore"
 	"autarky/internal/sgx"
@@ -177,6 +178,7 @@ type Kernel struct {
 	Stats KernelStats
 
 	procs map[uint64]*Proc
+	m     *metrics.Metrics
 }
 
 // NewKernel wires the kernel to the machine and installs itself as the
@@ -190,6 +192,7 @@ func NewKernel(cpu *sgx.CPU, pt *mmu.PageTable, store *pagestore.Store, clock *s
 		Costs:     costs,
 		Adversary: NopAdversary{},
 		procs:     make(map[uint64]*Proc),
+		m:         metrics.Of(clock),
 	}
 	cpu.OS = k
 	return k
@@ -306,7 +309,9 @@ func (k *Kernel) Run(p *Proc) error {
 
 // HandlePageFault implements sgx.OSHandler.
 func (k *Kernel) HandlePageFault(c *sgx.CPU, e *sgx.Enclave, tcs *sgx.TCS, f *mmu.Fault) error {
-	k.Clock.Advance(k.Costs.OSFaultWork)
+	// The CPU layer opened a fault-handling scope before dispatching here, so
+	// the kernel's work inherits that attribution.
+	k.Clock.ChargeAmbient(k.Costs.OSFaultWork)
 
 	// Host-memory fault (host mode, or enclave touching untrusted buffers):
 	// demand-allocate anonymous zero-fill memory.
@@ -361,7 +366,8 @@ func (k *Kernel) HandlePageFault(c *sgx.CPU, e *sgx.Enclave, tcs *sgx.TCS, f *mm
 // HandleTimer implements sgx.OSHandler for preemption-timer AEXs.
 func (k *Kernel) HandleTimer(c *sgx.CPU, e *sgx.Enclave, tcs *sgx.TCS) error {
 	k.Stats.TimerTicks++
-	k.Clock.Advance(k.Costs.OSFaultWork)
+	k.m.Inc(metrics.CntTimerTicks)
+	k.Clock.ChargeAmbient(k.Costs.OSFaultWork)
 	if p := k.procs[e.ID]; p != nil {
 		k.Adversary.OnTimer(k, p)
 	}
@@ -380,6 +386,7 @@ func (k *Kernel) serviceLegacyFault(p *Proc, f *mmu.Fault) error {
 			return err
 		}
 		k.Stats.PageIns++
+		k.m.Inc(metrics.CntOSPageIns)
 		return nil
 	}
 	// Resident: the PTE must have been broken (not by us — by an attacker,
@@ -527,6 +534,7 @@ func (k *Kernel) evictOne(p *Proc, ps *pageState) error {
 	ps.everEvicted = true
 	ps.pfn = mmu.NoPFN
 	p.resident--
+	k.m.Inc(metrics.CntOSPageOuts)
 	return nil
 }
 

@@ -46,7 +46,7 @@ func (a *Allocator) AllocPages(n int) ([]mmu.VAddr, error) {
 		return nil, fmt.Errorf("libos: AllocPages(%d)", n)
 	}
 	if avail := len(a.free) + (a.heap.Pages - a.next); n > avail {
-		return nil, fmt.Errorf("libos: heap exhausted (%d pages requested, %d available)", n, avail)
+		return nil, fmt.Errorf("%w: heap exhausted (%d pages requested, %d available)", ErrQuotaExceeded, n, avail)
 	}
 	out := make([]mmu.VAddr, 0, n)
 	for i := 0; i < n; i++ {
@@ -76,7 +76,7 @@ func (a *Allocator) Alloc(size uint64) (mmu.VAddr, error) {
 	n := int(mmu.PagesIn(size))
 	// Contiguity: only the bump path guarantees it; require enough fresh room.
 	if a.next+n > a.heap.Pages {
-		return 0, fmt.Errorf("libos: heap exhausted (%d pages requested, %d free-bump)", n, a.heap.Pages-a.next)
+		return 0, fmt.Errorf("%w: heap exhausted (%d pages requested, %d free-bump)", ErrQuotaExceeded, n, a.heap.Pages-a.next)
 	}
 	start := a.next
 	for i := 0; i < n; i++ {
@@ -103,7 +103,7 @@ func (a *Allocator) takePage() (int, error) {
 		return idx, nil
 	}
 	if a.next >= a.heap.Pages {
-		return 0, fmt.Errorf("libos: heap exhausted (%d pages)", a.heap.Pages)
+		return 0, fmt.Errorf("%w: heap exhausted (%d pages)", ErrQuotaExceeded, a.heap.Pages)
 	}
 	idx := a.next
 	a.next++

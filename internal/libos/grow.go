@@ -28,8 +28,8 @@ func (p *Process) ExtendHeap(ctx *core.Context, n int) ([]mmu.VAddr, error) {
 		return nil, fmt.Errorf("libos: image reserved no ELRANGE for growth (set AppImage.ReservePages)")
 	}
 	if p.grown+n > p.Reserve.Pages {
-		return nil, fmt.Errorf("libos: reserve exhausted (%d of %d pages used, %d requested)",
-			p.grown, p.Reserve.Pages, n)
+		return nil, fmt.Errorf("%w: reserve exhausted (%d of %d pages used, %d requested)",
+			ErrQuotaExceeded, p.grown, p.Reserve.Pages, n)
 	}
 	if _, in := p.Kernel.CPU.InEnclave(); !in {
 		return nil, fmt.Errorf("libos: ExtendHeap outside enclave execution")

@@ -117,6 +117,9 @@ const DefaultBase = mmu.VAddr(0x10_0000_0000)
 // layout, measurement, page-management transfer, automatic clustering and
 // policy wiring.
 func Load(k *hostos.Kernel, clock *sim.Clock, costs *sim.Costs, img AppImage, cfg Config) (*Process, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	// --- layout ---
 	base := DefaultBase
 	cursor := base

@@ -234,14 +234,15 @@ func (pt *PageTable) Walk(va VAddr, t AccessType) (WalkResult, *Fault) {
 	n := &pt.root
 	vpn := va.VPN()
 	for level := 0; level < ptLevels-1; level++ {
-		pt.clock.Advance(pt.costs.PTWalkLevel)
+		// Walk latency is pipeline work: it inherits the ambient category.
+		pt.clock.ChargeAmbient(pt.costs.PTWalkLevel)
 		next := n.entries[idxAt(vpn, level)]
 		if next == nil {
 			return WalkResult{}, &Fault{Addr: va, Type: t, NotPresent: true}
 		}
 		n = next
 	}
-	pt.clock.Advance(pt.costs.PTWalkLevel)
+	pt.clock.ChargeAmbient(pt.costs.PTWalkLevel)
 	leaf := n.leaves[idxAt(vpn, ptLevels-1)]
 	if leaf == nil || !leaf.Present {
 		return WalkResult{}, &Fault{Addr: va, Type: t, NotPresent: true}

@@ -1,6 +1,9 @@
 package mmu
 
-import "autarky/internal/sim"
+import (
+	"autarky/internal/metrics"
+	"autarky/internal/sim"
+)
 
 // TLBEntry caches one translation. EnclaveID tags entries installed while
 // executing in enclave mode so they can be flushed on enclave exit and so
@@ -26,6 +29,7 @@ type TLB struct {
 	useTick uint64
 	clock   *sim.Clock
 	costs   *sim.Costs
+	m       *metrics.Metrics
 
 	// Statistics.
 	Hits    uint64
@@ -47,8 +51,14 @@ func NewTLB(nsets, ways int, clock *sim.Clock, costs *sim.Costs) *TLB {
 	for i := range sets {
 		sets[i] = make([]TLBEntry, ways)
 	}
-	return &TLB{sets: sets, nsets: nsets, ways: ways, clock: clock, costs: costs}
+	return &TLB{sets: sets, nsets: nsets, ways: ways, clock: clock, costs: costs, m: metrics.Of(clock)}
 }
+
+// Sets reports the number of sets in the TLB's geometry.
+func (t *TLB) Sets() int { return t.nsets }
+
+// Ways reports the TLB's associativity.
+func (t *TLB) Ways() int { return t.ways }
 
 func (t *TLB) set(vpn uint64) []TLBEntry {
 	return t.sets[vpn&uint64(t.nsets-1)]
@@ -59,7 +69,9 @@ func (t *TLB) set(vpn uint64) []TLBEntry {
 // re-walk to set D), matching x86 behaviour and preserving the dirty-bit
 // side channel for the vanilla model.
 func (t *TLB) Lookup(va VAddr, at AccessType) (*TLBEntry, bool) {
-	t.clock.Advance(t.costs.TLBHit)
+	// Lookup latency is part of the access pipeline; it inherits the
+	// ambient category (compute for workload accesses).
+	t.clock.ChargeAmbient(t.costs.TLBHit)
 	vpn := va.VPN()
 	set := t.set(vpn)
 	for i := range set {
@@ -71,10 +83,12 @@ func (t *TLB) Lookup(va VAddr, at AccessType) (*TLBEntry, bool) {
 			t.useTick++
 			e.lastUse = t.useTick
 			t.Hits++
+			t.m.Inc(metrics.CntTLBHits)
 			return e, true
 		}
 	}
 	t.Misses++
+	t.m.Inc(metrics.CntTLBMisses)
 	return nil, false
 }
 
@@ -104,6 +118,7 @@ func (t *TLB) Fill(va VAddr, pte PTE, enclaveID uint64, writable bool) {
 		lastUse:   t.useTick,
 	}
 	t.Fills++
+	t.m.Inc(metrics.CntTLBFills)
 }
 
 // FlushAll invalidates every entry (enclave entry/exit).
@@ -114,7 +129,10 @@ func (t *TLB) FlushAll() {
 		}
 	}
 	t.Flushes++
-	t.clock.Advance(t.costs.TLBFlushLocal)
+	t.m.Inc(metrics.CntTLBFlushes)
+	// Flushes ride on enclave transitions; the ambient category is the
+	// transition's (compute at top level, fault-handling on the fault path).
+	t.clock.ChargeAmbient(t.costs.TLBFlushLocal)
 }
 
 // Invalidate drops any entry for va (INVLPG / shootdown target side).
@@ -131,7 +149,9 @@ func (t *TLB) Invalidate(va VAddr) {
 // Shootdown models a remote TLB shootdown initiated by the OS: it charges
 // the IPI cost and invalidates the page on this (single-hart) machine.
 func (t *TLB) Shootdown(va VAddr) {
-	t.clock.Advance(t.costs.TLBShootdown)
+	// Shootdowns only happen as part of the eviction protocol.
+	t.clock.ChargeAs(sim.CatPaging, t.costs.TLBShootdown)
+	t.m.Inc(metrics.CntTLBShootdowns)
 	t.Invalidate(va)
 }
 

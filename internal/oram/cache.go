@@ -3,6 +3,7 @@ package oram
 import (
 	"fmt"
 
+	"autarky/internal/metrics"
 	"autarky/internal/sim"
 )
 
@@ -32,6 +33,7 @@ type Cache struct {
 
 	clock *sim.Clock
 	costs *sim.Costs
+	m     *metrics.Metrics
 
 	// Touch, when set, is invoked with the cache slot index on every hit
 	// and fill so the buffer's pages flow through the architectural access
@@ -63,6 +65,7 @@ func NewCache(o *PathORAM, capacity int, clock *sim.Clock, costs *sim.Costs) *Ca
 		entries:  make(map[uint32]*centry, capacity),
 		clock:    clock,
 		costs:    costs,
+		m:        metrics.Of(clock),
 		slots:    make([]uint32, capacity),
 	}
 	for i := capacity - 1; i >= 0; i-- {
@@ -114,14 +117,18 @@ func (c *Cache) touch(e *centry, write bool) error {
 
 // lookup returns the entry for id, running the miss path as needed.
 func (c *Cache) lookup(id uint32) (*centry, error) {
-	c.clock.Advance(c.costs.ORAMCacheLookup)
+	// The instrumented cache lookup is policy machinery, like the oblivious
+	// scans it replaces.
+	c.clock.ChargeAs(sim.CatPolicy, c.costs.ORAMCacheLookup)
 	if e, ok := c.entries[id]; ok {
 		c.Stats.Hits++
+		c.m.Inc(metrics.CntORAMCacheHits)
 		c.unlink(e)
 		c.pushBack(e)
 		return e, nil
 	}
 	c.Stats.Misses++
+	c.m.Inc(metrics.CntORAMCacheMisses)
 
 	// Make room: evict the LRU entry, writing it back through the ORAM if
 	// dirty (clean pages skip writeback — "avoid writeback of clean pages").
@@ -137,6 +144,7 @@ func (c *Cache) lookup(id uint32) (*centry, error) {
 		}
 		c.freeSlot = append(c.freeSlot, victim.slot)
 		c.Stats.Evictions++
+		c.m.Inc(metrics.CntORAMCacheEvictions)
 	}
 
 	data, err := c.oram.Access(id, false, nil)

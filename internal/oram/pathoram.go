@@ -19,6 +19,7 @@ package oram
 import (
 	"fmt"
 
+	"autarky/internal/metrics"
 	"autarky/internal/sim"
 )
 
@@ -53,6 +54,7 @@ type PathORAM struct {
 	clock *sim.Clock
 	costs *sim.Costs
 	rng   *sim.Rand
+	m     *metrics.Metrics
 
 	Stats Stats
 }
@@ -92,6 +94,7 @@ func New(numBlocks, blockSize, z int, clock *sim.Clock, costs *sim.Costs, seed u
 		clock:     clock,
 		costs:     costs,
 		rng:       sim.NewRand(seed),
+		m:         metrics.Of(clock),
 	}
 	for i := range o.buckets {
 		o.buckets[i] = make([]slot, z)
@@ -137,12 +140,15 @@ func (o *PathORAM) pathContains(pathLeaf, blockLeaf uint32, level int) bool {
 }
 
 func (o *PathORAM) chargeScan(words int) {
-	o.clock.Advance(uint64(words) * o.costs.ObliviousWordScan)
+	// Oblivious CMOV scans exist only to hide the access pattern: they are
+	// the price of the policy, not useful compute or crypto.
+	o.clock.ChargeAs(sim.CatPolicy, uint64(words)*o.costs.ObliviousWordScan)
 	o.Stats.ScanWords += uint64(words)
 }
 
 func (o *PathORAM) chargeMove(n int) {
-	o.clock.Advance(uint64(n) * o.costs.ORAMBlockMove)
+	// Path reads/writes re-encrypt every bucket touched.
+	o.clock.ChargeAs(sim.CatCrypto, uint64(n)*o.costs.ORAMBlockMove)
 	o.Stats.BlockMoves += uint64(n)
 }
 
@@ -171,8 +177,12 @@ func (o *PathORAM) Access(id uint32, write bool, data []byte) ([]byte, error) {
 	fresh := leaf == invalidLeaf
 	if fresh {
 		// Never written: nothing on any path; materialize a zero block in
-		// the stash under the new position.
+		// the stash under the new position. The protocol still walks a random
+		// path with no payload on it — the dummy-access shape.
+		o.m.Inc(metrics.CntORAMDummy)
 		leaf = newLeaf
+	} else {
+		o.m.Inc(metrics.CntORAMReal)
 	}
 
 	// Read the whole path into the stash.

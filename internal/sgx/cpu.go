@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"autarky/internal/metrics"
 	"autarky/internal/mmu"
 	"autarky/internal/sim"
 )
@@ -61,6 +62,8 @@ type CPU struct {
 	// enclave access (ground truth for validating attack recovery).
 	AccessObserver func(va mmu.VAddr, t mmu.AccessType)
 
+	m *metrics.Metrics
+
 	rootSecret    []byte
 	nextEnclaveID uint64
 	enclaves      map[uint64]*Enclave
@@ -99,6 +102,7 @@ func NewCPU(clock *sim.Clock, costs *sim.Costs, tlb *mmu.TLB, pt *mmu.PageTable,
 		PT:           pt,
 		EPC:          epc,
 		Reg:          reg,
+		m:            metrics.Of(clock),
 		rootSecret:   secret,
 		enclaves:     make(map[uint64]*Enclave),
 	}
@@ -157,9 +161,12 @@ func (c *CPU) EEnter(e *Enclave, tcs *TCS) (err error) {
 	if !e.initialized {
 		return ErrNotInitialized
 	}
-	c.Clock.Advance(c.Costs.EENTER)
+	// Transition cost inherits the ambient category: fault-handling when
+	// the OS re-enters the trusted handler, compute at top-level entry.
+	c.Clock.ChargeAmbient(c.Costs.EENTER)
 	c.TLB.FlushAll()
 	c.Stats.Enters++
+	c.m.Inc(metrics.CntEnters)
 	// Autarky §5.1.3: EENTER clears the pending-exception flag.
 	tcs.pendingException = false
 	c.setMode(e, tcs)
@@ -189,9 +196,10 @@ func (c *CPU) EEnter(e *Enclave, tcs *TCS) (err error) {
 		tcs.inEnclaveResumed = false
 		return nil
 	}
-	c.Clock.Advance(c.Costs.EEXIT)
+	c.Clock.ChargeAmbient(c.Costs.EEXIT)
 	c.TLB.FlushAll()
 	c.Stats.Exits++
+	c.m.Inc(metrics.CntExits)
 	c.clearMode()
 	return nil
 }
@@ -208,14 +216,16 @@ func (c *CPU) ERESUME(e *Enclave, tcs *TCS) error {
 	}
 	if tcs.pendingException {
 		c.Stats.ResumeDenied++
+		c.m.Inc(metrics.CntResumeDenied)
 		return ErrPendingException
 	}
 	if tcs.cssa == 0 {
 		return fmt.Errorf("%w: ERESUME with empty SSA stack", ErrEPCMConflict)
 	}
-	c.Clock.Advance(c.Costs.ERESUME)
+	c.Clock.ChargeAmbient(c.Costs.ERESUME)
 	c.TLB.FlushAll()
 	c.Stats.Resumes++
+	c.m.Inc(metrics.CntResumes)
 	tcs.popSSA()
 	c.setMode(e, tcs)
 	return nil
@@ -305,15 +315,16 @@ func (c *CPU) translate(va mmu.VAddr, t mmu.AccessType) (mmu.PFN, *mmu.Fault) {
 			// be set; otherwise the PTE is treated as invalid. No A/D
 			// writeback ever happens for these entries, which kills the
 			// TOCTOU variant.
-			c.Clock.Advance(c.Costs.ADCheck)
+			c.Clock.ChargeAmbient(c.Costs.ADCheck)
 			c.Stats.ADChecks++
+			c.m.Inc(metrics.CntADChecks)
 			if !pte.Accessed || !pte.Dirty {
 				return mmu.NoPFN, &mmu.Fault{Addr: va, Type: t, SGX: true, NotPresent: true}
 			}
 			c.TLB.Fill(va, pte, c.cur.ID, true)
 		} else {
 			c.PT.SetAD(va, t == mmu.AccessWrite)
-			c.Clock.Advance(c.Costs.ADWriteback)
+			c.Clock.ChargeAmbient(c.Costs.ADWriteback)
 			c.TLB.Fill(va, pte, c.cur.ID, pte.Dirty || t == mmu.AccessWrite)
 		}
 		return pte.PFN, nil
@@ -327,7 +338,7 @@ func (c *CPU) translate(va mmu.VAddr, t mmu.AccessType) (mmu.PFN, *mmu.Fault) {
 		return mmu.NoPFN, &mmu.Fault{Addr: va, Type: t, SGX: true, Protection: true}
 	}
 	c.PT.SetAD(va, t == mmu.AccessWrite)
-	c.Clock.Advance(c.Costs.ADWriteback)
+	c.Clock.ChargeAmbient(c.Costs.ADWriteback)
 	var encID uint64
 	if c.cur != nil {
 		encID = c.cur.ID
@@ -338,11 +349,16 @@ func (c *CPU) translate(va mmu.VAddr, t mmu.AccessType) (mmu.PFN, *mmu.Fault) {
 
 // deliverFault runs the architectural fault flow for a fault raised in the
 // current mode, returning once the machine is ready to retry the access.
+// Everything charged within the flow — transitions, OS fault path, handler
+// upcalls, forced re-entries — is attributed to fault-handling unless a
+// nested component (paging, crypto, policy work) overrides explicitly.
 func (c *CPU) deliverFault(f *mmu.Fault) error {
+	defer c.Clock.SetCategory(c.Clock.SetCategory(sim.CatFault))
+	c.m.Inc(faultCause(c.cur, f))
 	if c.cur == nil {
 		// Host-mode fault: straight to the OS, unmasked (offset included,
 		// as for any normal process fault).
-		c.Clock.Advance(c.Costs.OSFaultEntry)
+		c.Clock.ChargeAmbient(c.Costs.OSFaultEntry)
 		return c.OS.HandlePageFault(c, nil, nil, f)
 	}
 
@@ -371,10 +387,11 @@ func (c *CPU) deliverFault(f *mmu.Fault) error {
 		// §5.1.3 "Eliding AEX": stay in enclave mode; simulate a nested
 		// re-entry at the handler.
 		c.Stats.ElidedFaults++
+		c.m.Inc(metrics.CntElidedFaults)
 		if err := tcs.pushSSA(*f); err != nil {
 			c.Terminate(TerminatePolicy, "SSA exhausted on elided fault")
 		}
-		c.Clock.Advance(c.Costs.UpcallDeliver)
+		c.Clock.ChargeAmbient(c.Costs.UpcallDeliver)
 		e.Runtime.OnEntry(tcs)
 		// The handler must have resumed in-enclave (there is no other exit
 		// from an elided fault).
@@ -402,12 +419,13 @@ func (c *CPU) aexAndHandle(e *Enclave, tcs *TCS, full, masked mmu.Fault, enclave
 		// Autarky §5.1.3: AEX on an enclave page fault sets the pending flag.
 		tcs.pendingException = true
 	}
-	c.Clock.Advance(c.Costs.AEX)
+	c.Clock.ChargeAmbient(c.Costs.AEX)
 	c.TLB.FlushAll()
 	c.Stats.AEXs++
+	c.m.Inc(metrics.CntAEXs)
 	c.clearMode()
 
-	c.Clock.Advance(c.Costs.OSFaultEntry)
+	c.Clock.ChargeAmbient(c.Costs.OSFaultEntry)
 	if err := c.OS.HandlePageFault(c, e, tcs, &masked); err != nil {
 		return err
 	}
@@ -415,6 +433,22 @@ func (c *CPU) aexAndHandle(e *Enclave, tcs *TCS, full, masked mmu.Fault, enclave
 		return fmt.Errorf("sgx: OS fault handler returned without resuming enclave %d", e.ID)
 	}
 	return nil
+}
+
+// faultCause classifies a delivered fault into exactly one cause counter:
+// host-mode faults, SGX/EPCM-check faults, permission faults, and plain
+// not-present faults. The four counters partition total fault deliveries.
+func faultCause(cur *Enclave, f *mmu.Fault) metrics.Counter {
+	switch {
+	case cur == nil:
+		return metrics.CntFaultHost
+	case f.SGX:
+		return metrics.CntFaultSGX
+	case f.Protection:
+		return metrics.CntFaultProtection
+	default:
+		return metrics.CntFaultNotPresent
+	}
 }
 
 // maybeTimer raises a preemption-timer AEX when the interval elapses.
@@ -427,6 +461,9 @@ func (c *CPU) maybeTimer() error {
 		return nil
 	}
 	c.timerCount = 0
+	// The whole preemption — AEX, OS timer work, resume — is fault-path
+	// overhead for attribution purposes.
+	defer c.Clock.SetCategory(c.Clock.SetCategory(sim.CatFault))
 	e, tcs := c.cur, c.curTCS
 	// Timer AEX: push an interrupt frame (no exception info), exit.
 	if err := tcs.pushFrame(SSAFrame{}); err != nil {
@@ -434,9 +471,10 @@ func (c *CPU) maybeTimer() error {
 		c.clearMode()
 		return &TerminationError{Reason: TerminatePolicy, Detail: "SSA stack exhausted on timer"}
 	}
-	c.Clock.Advance(c.Costs.AEX)
+	c.Clock.ChargeAmbient(c.Costs.AEX)
 	c.TLB.FlushAll()
 	c.Stats.AEXs++
+	c.m.Inc(metrics.CntAEXs)
 	c.clearMode()
 	if err := c.OS.HandleTimer(c, e, tcs); err != nil {
 		return err
@@ -461,7 +499,7 @@ func (c *CPU) Touch(va mmu.VAddr, t mmu.AccessType) error {
 		}
 		_, fault := c.translate(va, t)
 		if fault == nil {
-			c.Clock.Advance(c.Costs.MemAccess)
+			c.Clock.ChargeAmbient(c.Costs.MemAccess)
 			if c.AccessObserver != nil {
 				c.AccessObserver(va, t)
 			}
@@ -486,7 +524,7 @@ func (c *CPU) access(va mmu.VAddr, t mmu.AccessType) ([]byte, error) {
 		}
 		pfn, fault := c.translate(va, t)
 		if fault == nil {
-			c.Clock.Advance(c.Costs.MemAccess)
+			c.Clock.ChargeAmbient(c.Costs.MemAccess)
 			if c.AccessObserver != nil {
 				c.AccessObserver(va, t)
 			}

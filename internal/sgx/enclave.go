@@ -5,8 +5,10 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"autarky/internal/metrics"
 	"autarky/internal/mmu"
 	"autarky/internal/pagestore"
+	"autarky/internal/sim"
 )
 
 // Runtime is the trusted software loaded at the enclave's attested entry
@@ -165,7 +167,8 @@ func (c *CPU) EADD(e *Enclave, va mmu.VAddr, content []byte, perms mmu.Perms, ty
 	binary.LittleEndian.PutUint64(meta[8:16], uint64(perms)|uint64(typ)<<32)
 	e.extendMeasurement("EADD", meta[:])
 	e.extendMeasurement("EEXTEND", f.Data)
-	c.Clock.Advance(c.Costs.EAUG) // EADD cost ≈ EAUG in the model
+	c.Clock.ChargeAs(sim.CatPaging, c.Costs.EAUG) // EADD cost ≈ EAUG in the model
+	c.m.Inc(metrics.CntEADD)
 	return pfn, nil
 }
 

@@ -9,6 +9,45 @@ package sim
 
 import "fmt"
 
+// Category labels where advanced cycles are attributed. Every Advance lands
+// in the clock's ambient category (CatCompute unless a caller has scoped a
+// different one with SetCategory), so the attribution buckets always sum to
+// the cycle count — the invariant internal/metrics builds on.
+type Category uint8
+
+// The attribution categories. NumCategories is the array size for bucket
+// storage, not a real category.
+const (
+	CatCompute Category = iota // workload execution, translation, memory access
+	CatPaging                  // SGX paging instructions and page-movement work
+	CatCrypto                  // page encryption/decryption (EWB/ELDU payload, SGX2 software crypto)
+	CatFault                   // fault delivery: AEX, transitions, OS fault path, handler upcalls
+	CatPolicy                  // self-paging policy overhead: ORAM scans, stash and cache management
+	NumCategories
+)
+
+var categoryNames = [NumCategories]string{"compute", "paging", "crypto", "fault", "policy"}
+
+// String returns the category's stable label (the JSON key in snapshots).
+func (c Category) String() string {
+	if int(c) < len(categoryNames) {
+		return categoryNames[c]
+	}
+	return fmt.Sprintf("category(%d)", int(c))
+}
+
+// Buckets holds per-category cycle totals, indexed by Category.
+type Buckets [NumCategories]uint64
+
+// Sum returns the total cycles across all buckets.
+func (b Buckets) Sum() uint64 {
+	var s uint64
+	for _, v := range b {
+		s += v
+	}
+	return s
+}
+
 // Clock is a monotonic logical cycle counter. It is the only notion of time
 // in the simulation; wall-clock time is never consulted.
 //
@@ -17,8 +56,11 @@ import "fmt"
 // runtime); workload-level concurrency is modelled by interleaving, not by
 // goroutines mutating a shared clock.
 type Clock struct {
-	cycles uint64
-	limit  uint64
+	cycles  uint64
+	limit   uint64
+	cat     Category
+	buckets Buckets
+	meter   any
 }
 
 // NewClock returns a clock at cycle zero.
@@ -41,19 +83,73 @@ func (e *LimitError) Error() string {
 // zero disarms the budget.
 func (c *Clock) SetLimit(limit uint64) { c.limit = limit }
 
-// Advance adds n cycles to the clock.
+// Advance adds n cycles to the clock, attributed to the ambient category.
+// Both the total and the bucket are updated before any limit panic, so the
+// attribution invariant (sum of buckets == cycles) holds even when a cell
+// aborts on its budget.
 func (c *Clock) Advance(n uint64) {
+	c.buckets[c.cat] += n
 	c.cycles += n
 	if c.limit != 0 && c.cycles > c.limit {
 		panic(&LimitError{Limit: c.limit, At: c.cycles})
 	}
 }
 
+// ChargeAs advances the clock with the cycles attributed to an explicit
+// category, regardless of the ambient one. Instrumented packages use this
+// (or ChargeAmbient) instead of a naked Advance; tools/metriclint enforces
+// the convention.
+func (c *Clock) ChargeAs(cat Category, n uint64) {
+	prev := c.cat
+	c.cat = cat
+	c.Advance(n)
+	c.cat = prev
+}
+
+// ChargeAmbient advances the clock, deliberately inheriting the ambient
+// category (e.g. an EENTER is fault-handling on the fault path but compute
+// at top-level entry). It is Advance under a name that marks the
+// inheritance as intentional for tools/metriclint.
+func (c *Clock) ChargeAmbient(n uint64) { c.Advance(n) }
+
+// SetCategory sets the ambient attribution category and returns the
+// previous one, so a scope is one line to open and one deferred line to
+// close:
+//
+//	defer clock.SetCategory(clock.SetCategory(sim.CatFault))
+func (c *Clock) SetCategory(cat Category) Category {
+	prev := c.cat
+	c.cat = cat
+	return prev
+}
+
+// Category reports the ambient attribution category.
+func (c *Clock) Category() Category { return c.cat }
+
+// Buckets returns the per-category cycle totals. The sum always equals
+// Cycles().
+func (c *Clock) Buckets() Buckets { return c.buckets }
+
+// SetMeter attaches an opaque per-machine metrics registry to the clock
+// (see internal/metrics.Of). The clock itself never inspects it; carrying
+// it here lets every component that already receives the clock reach the
+// same registry without new constructor parameters.
+func (c *Clock) SetMeter(m any) { c.meter = m }
+
+// Meter returns the attached metrics registry, or nil.
+func (c *Clock) Meter() any { return c.meter }
+
 // Cycles reports the current cycle count.
 func (c *Clock) Cycles() uint64 { return c.cycles }
 
-// Reset rewinds the clock to zero.
-func (c *Clock) Reset() { c.cycles = 0 }
+// Reset rewinds the clock to zero, clearing the attribution buckets and
+// restoring the ambient category, so the attribution invariant is
+// re-established at zero. The attached meter (if any) is kept.
+func (c *Clock) Reset() {
+	c.cycles = 0
+	c.cat = CatCompute
+	c.buckets = Buckets{}
+}
 
 // Since reports the cycles elapsed since the given earlier reading.
 // It panics if start is in the future, which always indicates a bug in the

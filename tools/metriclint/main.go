@@ -1,0 +1,77 @@
+// Command metriclint enforces the cycle-attribution discipline described in
+// DESIGN.md: inside the instrumented simulation packages, no code may call
+// Clock.Advance directly. A naked Advance charges cycles to whatever category
+// happens to be ambient, which silently mis-attributes work; instrumented
+// code must instead use one of the attribution-aware entry points:
+//
+//   - clock.ChargeAs(cat, n)    — a point charge to an explicit category
+//   - clock.ChargeAmbient(n)    — a deliberate, named charge to the ambient
+//     category (greppable, so reviewers can audit every such decision)
+//   - defer clock.SetCategory(clock.SetCategory(cat)) + ambient charges — a
+//     scoped category for a whole code region
+//
+// Workload and experiment code (internal/experiments, internal/workloads,
+// internal/sim itself) is exempt: there, Advance is the ambient-compute
+// charge by definition.
+//
+// Exit status is non-zero if any violation is found. Run via `make check`.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// instrumented lists the packages in which every cycle must be explicitly
+// attributed. Keep in sync with the Observability section of DESIGN.md.
+var instrumented = []string{
+	"internal/sgx",
+	"internal/mmu",
+	"internal/core",
+	"internal/hostos",
+	"internal/oram",
+}
+
+func main() {
+	violations := 0
+	for _, dir := range instrumented {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, 0)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metriclint: %v\n", err)
+			os.Exit(2)
+		}
+		for _, pkg := range pkgs {
+			for name, file := range pkg.Files {
+				ast.Inspect(file, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					sel, ok := call.Fun.(*ast.SelectorExpr)
+					if !ok || sel.Sel.Name != "Advance" {
+						return true
+					}
+					pos := fset.Position(call.Pos())
+					rel := filepath.ToSlash(name)
+					fmt.Fprintf(os.Stderr,
+						"%s:%d:%d: naked Clock.Advance in instrumented package; use ChargeAs, ChargeAmbient, or a SetCategory scope\n",
+						rel, pos.Line, pos.Column)
+					violations++
+					return true
+				})
+			}
+		}
+	}
+	if violations > 0 {
+		fmt.Fprintf(os.Stderr, "metriclint: %d unattributed Advance call(s)\n", violations)
+		os.Exit(1)
+	}
+}
