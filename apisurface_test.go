@@ -1,0 +1,141 @@
+package autarky
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateSurface = flag.Bool("update", false, "rewrite testdata/api_surface.txt from the current source")
+
+// publicSurface parses the package sources (tests excluded) and returns one
+// line per exported identifier: types, funcs, consts, vars, and methods on
+// exported receivers, sorted.
+func publicSurface(t *testing.T) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatalf("parse package: %v", err)
+	}
+	pkg, ok := pkgs["autarky"]
+	if !ok {
+		t.Fatalf("package autarky not found in %v", pkgs)
+	}
+	seen := map[string]bool{}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() {
+					continue
+				}
+				if d.Recv == nil {
+					seen["func "+d.Name.Name] = true
+					continue
+				}
+				recv := receiverName(d.Recv)
+				if recv == "" || !ast.IsExported(recv) {
+					continue
+				}
+				seen[fmt.Sprintf("method %s.%s", recv, d.Name.Name)] = true
+			case *ast.GenDecl:
+				kind := map[token.Token]string{
+					token.TYPE: "type", token.CONST: "const", token.VAR: "var",
+				}[d.Tok]
+				if kind == "" {
+					continue
+				}
+				for _, spec := range d.Specs {
+					switch sp := spec.(type) {
+					case *ast.TypeSpec:
+						if sp.Name.IsExported() {
+							seen[kind+" "+sp.Name.Name] = true
+						}
+					case *ast.ValueSpec:
+						for _, name := range sp.Names {
+							if name.IsExported() {
+								seen[kind+" "+name.Name] = true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func receiverName(recv *ast.FieldList) string {
+	if len(recv.List) != 1 {
+		return ""
+	}
+	expr := recv.List[0].Type
+	if star, ok := expr.(*ast.StarExpr); ok {
+		expr = star.X
+	}
+	if id, ok := expr.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// TestPublicAPISurfaceGolden locks the package's exported identifier set
+// against testdata/api_surface.txt. An unreviewed addition, removal or
+// rename of anything public fails here first; intentional API changes
+// regenerate the snapshot with `go test -run TestPublicAPISurfaceGolden
+// -update .` and commit the diff.
+func TestPublicAPISurfaceGolden(t *testing.T) {
+	const golden = "testdata/api_surface.txt"
+	got := publicSurface(t)
+	if *updateSurface {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(strings.Join(got, "\n")+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d identifiers)", golden, len(got))
+		return
+	}
+	raw, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read %s (regenerate with -update): %v", golden, err)
+	}
+	want := strings.Split(strings.TrimSpace(string(raw)), "\n")
+
+	wantSet := map[string]bool{}
+	for _, w := range want {
+		wantSet[w] = true
+	}
+	gotSet := map[string]bool{}
+	for _, g := range got {
+		gotSet[g] = true
+	}
+	for _, w := range want {
+		if !gotSet[w] {
+			t.Errorf("removed from public API: %s", w)
+		}
+	}
+	for _, g := range got {
+		if !wantSet[g] {
+			t.Errorf("added to public API without snapshot update: %s", g)
+		}
+	}
+	if t.Failed() {
+		t.Logf("if intentional: go test -run TestPublicAPISurfaceGolden -update . && git add %s", golden)
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"autarky/internal/metrics"
 	"autarky/internal/mmu"
 	"autarky/internal/pagestore"
+	"autarky/internal/sched"
 	"autarky/internal/sgx"
 	"autarky/internal/sim"
 )
@@ -132,7 +133,9 @@ const (
 const PageSize = mmu.PageSize
 
 // Machine is one simulated host: CPU, MMU, EPC, untrusted kernel and
-// backing store. Create enclaves on it with LoadApp.
+// backing store. Create enclave processes on it with Spawn; drive them with
+// Proc.Run/Wait. Several processes coexist on one machine, time-sliced by
+// the deterministic cycle-driven scheduler (see WithScheduler/WithQuantum).
 type Machine struct {
 	Clock  *sim.Clock
 	Costs  *sim.Costs
@@ -142,18 +145,26 @@ type Machine struct {
 	TLB    *mmu.TLB
 	EPC    *sgx.EPC
 	Store  *pagestore.Store
+
+	// Scheduler state (built lazily by the first Spawn).
+	sched       *sched.Scheduler
+	schedPolicy sched.PolicyKind
+	quantum     uint64
+	nextBase    mmu.VAddr
 }
 
 // Option customizes machine construction.
 type Option func(*machineConfig)
 
 type machineConfig struct {
-	epcFrames  int
-	epcBase    mmu.PFN
-	tlbSets    int
-	tlbWays    int
-	costs      sim.Costs
-	rootSecret []byte
+	epcFrames   int
+	epcBase     mmu.PFN
+	tlbSets     int
+	tlbWays     int
+	costs       sim.Costs
+	rootSecret  []byte
+	schedPolicy sched.PolicyKind
+	quantum     uint64
 }
 
 // withEPCBase places the machine's EPC at a specific physical frame range
@@ -186,12 +197,14 @@ func WithRootSecret(secret []byte) Option {
 // NewMachine builds a simulated host.
 func NewMachine(opts ...Option) *Machine {
 	cfg := machineConfig{
-		epcFrames:  65536,
-		epcBase:    mmu.PFN(0x100000),
-		tlbSets:    64,
-		tlbWays:    4,
-		costs:      sim.DefaultCosts(),
-		rootSecret: []byte("autarky-model-root-secret"),
+		epcFrames:   65536,
+		epcBase:     mmu.PFN(0x100000),
+		tlbSets:     64,
+		tlbWays:     4,
+		costs:       sim.DefaultCosts(),
+		rootSecret:  []byte("autarky-model-root-secret"),
+		schedPolicy: sched.RoundRobin,
+		quantum:     sched.DefaultQuantum,
 	}
 	for _, o := range opts {
 		o(&cfg)
@@ -206,19 +219,27 @@ func NewMachine(opts ...Option) *Machine {
 	store := pagestore.NewStore()
 	kernel := hostos.NewKernel(cpu, pt, store, clock, &costs)
 	return &Machine{
-		Clock:  clock,
-		Costs:  &costs,
-		CPU:    cpu,
-		Kernel: kernel,
-		PT:     pt,
-		TLB:    tlb,
-		EPC:    epc,
-		Store:  store,
+		Clock:       clock,
+		Costs:       &costs,
+		CPU:         cpu,
+		Kernel:      kernel,
+		PT:          pt,
+		TLB:         tlb,
+		EPC:         epc,
+		Store:       store,
+		schedPolicy: cfg.schedPolicy,
+		quantum:     cfg.quantum,
+		nextBase:    libos.DefaultBase,
 	}
 }
 
 // LoadApp loads an application image as an enclave under the given
-// configuration.
+// configuration. The returned Process runs directly on the machine
+// (Process.Run), bypassing the scheduler, so only one LoadApp process can
+// meaningfully execute per machine.
+//
+// Deprecated: use Spawn, which places any number of co-resident enclaves
+// and schedules them; Proc.Run is a drop-in replacement for Process.Run.
 func (m *Machine) LoadApp(img AppImage, cfg Config) (*Process, error) {
 	return libos.Load(m.Kernel, m.Clock, m.Costs, img, cfg)
 }

@@ -34,6 +34,10 @@ func determinismCases() []struct {
 	e6.Items = 1024
 	e6.Requests = 600
 
+	e10 := DefaultE10Params()
+	e10.Tenants = []int{1, 2, 4}
+	e10.Rounds = 600
+
 	return []struct {
 		name string
 		run  func() *Table
@@ -50,6 +54,7 @@ func determinismCases() []struct {
 		{"E8", func() *Table { return RunE8(2).Table() }},
 		{"E8b", func() *Table { return RunE8CodeClusters(150).Table() }},
 		{"E9", func() *Table { return RunE9().Table() }},
+		{"E10", func() *Table { return RunE10(e10).Table() }},
 	}
 }
 

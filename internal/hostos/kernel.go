@@ -83,6 +83,15 @@ func (NopAdversary) OnEnclaveFault(*Kernel, *Proc, *mmu.Fault) bool { return fal
 // OnTimer does nothing.
 func (NopAdversary) OnTimer(*Kernel, *Proc) {}
 
+// Preemptor is the kernel's scheduler upcall: it runs on every
+// preemption-timer AEX, after the adversary's OnTimer and before the kernel
+// ERESUMEs the enclave. A scheduler implementation parks the current
+// execution stream inside OnPreempt and returns only when the stream is
+// dispatched again, so the ERESUME that follows is the context-switch-in.
+type Preemptor interface {
+	OnPreempt(k *Kernel, p *Proc)
+}
+
 // KernelStats counts kernel-level paging events.
 type KernelStats struct {
 	EnclaveFaults uint64
@@ -161,6 +170,10 @@ type Kernel struct {
 
 	Adversary Adversary
 
+	// Preemptor, when set, receives the scheduler upcall on every
+	// preemption-timer AEX (see the Preemptor interface).
+	Preemptor Preemptor
+
 	// ClassicOCalls makes every driver call a classic OCALL round trip
 	// instead of an exitless host call (ablation of the §6 design choice).
 	ClassicOCalls bool
@@ -178,7 +191,10 @@ type Kernel struct {
 	Stats KernelStats
 
 	procs map[uint64]*Proc
-	m     *metrics.Metrics
+	// procList holds the same processes in enclave-creation order, so the
+	// cross-enclave victim scan is deterministic (map iteration is not).
+	procList []*Proc
+	m        *metrics.Metrics
 }
 
 // NewKernel wires the kernel to the machine and installs itself as the
@@ -238,6 +254,7 @@ func (k *Kernel) LoadEnclave(spec EnclaveSpec) (*Proc, error) {
 		pages: make(map[uint64]*pageState),
 	}
 	k.procs[e.ID] = p
+	k.procList = append(k.procList, p)
 
 	selfPaging := spec.Attrs.Has(sgx.AttrSelfPaging)
 	for _, seg := range spec.Segments {
@@ -370,6 +387,9 @@ func (k *Kernel) HandleTimer(c *sgx.CPU, e *sgx.Enclave, tcs *sgx.TCS) error {
 	k.Clock.ChargeAmbient(k.Costs.OSFaultWork)
 	if p := k.procs[e.ID]; p != nil {
 		k.Adversary.OnTimer(k, p)
+		if k.Preemptor != nil {
+			k.Preemptor.OnPreempt(k, p)
+		}
 	}
 	return c.ERESUME(e, tcs)
 }
@@ -443,7 +463,7 @@ func (k *Kernel) ensurePhysicalFrames(p *Proc, need int) error {
 	for k.CPU.EPC.FreeFrames() < need {
 		reclaimed := false
 		// Prefer victims from other enclaves (balance pressure), then self.
-		for _, other := range k.procs {
+		for _, other := range k.procList {
 			if other == p || other.resident == 0 {
 				continue
 			}

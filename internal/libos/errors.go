@@ -37,6 +37,9 @@ func (e *ConfigError) Unwrap() error { return ErrBadConfig }
 // bad configuration fails fast with a field-specific error instead of
 // surfacing as a confusing runtime termination.
 func (c Config) Validate() error {
+	if c.Base.Offset() != 0 {
+		return &ConfigError{"Base", fmt.Sprintf("must be page-aligned, got %s", c.Base)}
+	}
 	if c.QuotaPages < 0 {
 		return &ConfigError{"QuotaPages", fmt.Sprintf("must be non-negative, got %d", c.QuotaPages)}
 	}

@@ -46,6 +46,13 @@ func (p PolicyKind) String() string {
 
 // Config controls loading.
 type Config struct {
+	// Base is the enclave's load address (page-aligned; 0 = DefaultBase).
+	// Machines hosting several enclaves must give each a disjoint ELRANGE —
+	// the facade's Spawn does this automatically.
+	Base mmu.VAddr
+	// Priority is the enclave's scheduling priority under the machine
+	// scheduler's priority policy (higher runs first; round-robin ignores it).
+	Priority int
 	// SelfPaging loads the enclave with Autarky's attested attribute;
 	// false loads a legacy (vanilla SGX) enclave.
 	SelfPaging bool
@@ -121,7 +128,10 @@ func Load(k *hostos.Kernel, clock *sim.Clock, costs *sim.Costs, img AppImage, cf
 		return nil, err
 	}
 	// --- layout ---
-	base := DefaultBase
+	base := cfg.Base
+	if base == 0 {
+		base = DefaultBase
+	}
 	cursor := base
 	codeRegions := make(map[string]Region, len(img.Libraries))
 	var segs []hostos.Segment

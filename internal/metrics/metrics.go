@@ -95,6 +95,11 @@ const (
 	CntDriverCalls
 	CntTimerTicks
 
+	// Multi-enclave scheduler (internal/sched).
+	CntSchedDispatches  // time slices granted (one per dispatch)
+	CntSchedSwitches    // dispatches that changed the running process
+	CntSchedPreemptions // involuntary quantum expirations (timer AEX parks)
+
 	// NumCounters is the array size, not a counter.
 	NumCounters
 )
@@ -160,6 +165,10 @@ var counterNames = [NumCounters]string{
 	CntDriverEvicts:  "driver.evicts",
 	CntDriverCalls:   "driver.calls",
 	CntTimerTicks:    "os.timer_ticks",
+
+	CntSchedDispatches:  "sched.dispatches",
+	CntSchedSwitches:    "sched.switches",
+	CntSchedPreemptions: "sched.preemptions",
 }
 
 // Name returns the counter's stable wire name.

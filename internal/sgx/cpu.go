@@ -81,7 +81,37 @@ type CPU struct {
 	TimerInterval uint64
 	timerCount    uint64
 
+	// PreemptAt, when non-zero, raises a preemption-timer AEX on the first
+	// enclave access at or past that cycle count — the scheduler's quantum
+	// timer. It is one-shot: the deadline is cleared when it fires, and the
+	// scheduler arms a fresh one on every dispatch.
+	PreemptAt uint64
+
 	enterDepth int
+}
+
+// ExecContext is the per-execution-stream CPU state a scheduler must save
+// and restore across a context switch: the EENTER nesting depth of the
+// stream's call stack and the clock's ambient attribution category at the
+// moment the stream was parked. A zero ExecContext is the state of a fresh
+// stream (top-level entry, compute attribution).
+type ExecContext struct {
+	enterDepth int
+	cat        sim.Category
+}
+
+// SwapContext installs ctx as the CPU's execution context and returns the
+// context that was live. Schedulers call it in matched pairs around a
+// context switch; it must only be used outside enclave mode (after the AEX
+// has exited the preempted enclave).
+func (c *CPU) SwapContext(ctx ExecContext) ExecContext {
+	if c.cur != nil {
+		panic("sgx: SwapContext while in enclave mode")
+	}
+	prev := ExecContext{enterDepth: c.enterDepth, cat: c.Clock.Category()}
+	c.enterDepth = ctx.enterDepth
+	c.Clock.SetCategory(ctx.cat)
+	return prev
 }
 
 // maxFaultRetries bounds the retry loop of a single access; exceeding it
@@ -451,16 +481,27 @@ func faultCause(cur *Enclave, f *mmu.Fault) metrics.Counter {
 	}
 }
 
-// maybeTimer raises a preemption-timer AEX when the interval elapses.
+// maybeTimer raises a preemption-timer AEX when the access-count interval
+// elapses or the cycle deadline (PreemptAt) passes, whichever fires first.
 func (c *CPU) maybeTimer() error {
-	if c.TimerInterval == 0 || c.cur == nil {
+	if c.cur == nil {
 		return nil
 	}
-	c.timerCount++
-	if c.timerCount < c.TimerInterval {
+	fire := false
+	if c.TimerInterval != 0 {
+		c.timerCount++
+		if c.timerCount >= c.TimerInterval {
+			c.timerCount = 0
+			fire = true
+		}
+	}
+	if c.PreemptAt != 0 && c.Clock.Cycles() >= c.PreemptAt {
+		c.PreemptAt = 0
+		fire = true
+	}
+	if !fire {
 		return nil
 	}
-	c.timerCount = 0
 	// The whole preemption — AEX, OS timer work, resume — is fault-path
 	// overhead for attribution purposes.
 	defer c.Clock.SetCategory(c.Clock.SetCategory(sim.CatFault))

@@ -53,6 +53,10 @@ type Costs struct {
 	SWEncryptPage uint64
 	SWDecryptPage uint64
 
+	// Scheduler work (internal/sched): one dispatch decision — run-queue
+	// scan, quantum programming, and switch bookkeeping in the kernel.
+	SchedDispatch uint64
+
 	// Oblivious-RAM primitive costs.
 	ObliviousWordScan uint64 // one CMOV-style oblivious compare+select per word
 	ORAMBlockMove     uint64 // move+re-encrypt one 4 KiB block along a path
@@ -98,6 +102,10 @@ func DefaultCosts() Costs {
 
 		SWEncryptPage: 2600,
 		SWDecryptPage: 2600,
+
+		// A scheduler dispatch is ordinary kernel bookkeeping, cheaper than
+		// a syscall round but more than plain fault accounting.
+		SchedDispatch: 450,
 
 		// One oblivious posmap/stash entry visit in uncached mode: CMOV
 		// select plus amortized decryption of the sealed entry stream.

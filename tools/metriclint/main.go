@@ -35,6 +35,7 @@ var instrumented = []string{
 	"internal/core",
 	"internal/hostos",
 	"internal/oram",
+	"internal/sched",
 }
 
 func main() {
