@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt metriclint check bench
+.PHONY: all build test race vet fmt metriclint apicheck check bench gobench
 
 all: build
 
@@ -24,7 +24,14 @@ fmt:
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
 
-bench:
+# bench regenerates the paper's evaluation tables as a machine-readable
+# report, stamped with today's date (see README, "Benchmark reports").
+bench: build
+	$(GO) run ./cmd/autarky-bench -format json > BENCH_$$(date +%Y-%m-%d).json
+	@echo "wrote BENCH_$$(date +%Y-%m-%d).json"
+
+# gobench runs the Go micro-benchmarks (the old `make bench`).
+gobench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
 # metriclint rejects unattributed Clock.Advance call sites inside the
@@ -32,7 +39,14 @@ bench:
 metriclint:
 	$(GO) run ./tools/metriclint
 
+# apicheck verifies the committed public-API snapshot (testdata/
+# api_surface.txt) still matches the code; regenerate with
+#   go test -run TestPublicAPISurfaceGolden -update .
+apicheck:
+	$(GO) test -run TestPublicAPISurfaceGolden .
+
 # check is the CI gate: formatting, static analysis, attribution lint,
-# build, and the full test suite under the race detector.
-check: fmt vet metriclint build race
+# API-surface freshness, build, and the full test suite under the race
+# detector.
+check: fmt vet metriclint apicheck build race
 	@echo "all checks passed"

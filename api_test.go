@@ -4,6 +4,9 @@ import (
 	"encoding/json"
 	"errors"
 	"testing"
+
+	"autarky/internal/core"
+	"autarky/internal/sgx"
 )
 
 // TestErrorTaxonomy locks the public error surface: every sentinel must be
@@ -62,6 +65,23 @@ func TestErrorTaxonomy(t *testing.T) {
 	var term *TerminationError
 	if !errors.As(runErr, &term) {
 		t.Fatalf("rate-limited run = %v, want *TerminationError", runErr)
+	}
+
+	// The rate-limit sentinel is one value across every layer: the hardware
+	// layer owns it (the termination reason), the runtime aliases it, and the
+	// facade re-exports it — so errors.Is matches through the whole stack
+	// regardless of which layer's name a caller imports.
+	if !errors.Is(runErr, ErrRateLimited) {
+		t.Fatalf("rate-limited run = %v, does not match facade ErrRateLimited", runErr)
+	}
+	if !errors.Is(runErr, core.ErrRateLimited) {
+		t.Fatalf("rate-limited run = %v, does not match core.ErrRateLimited", runErr)
+	}
+	if !errors.Is(runErr, sgx.ErrRateLimited) {
+		t.Fatalf("rate-limited run = %v, does not match sgx.ErrRateLimited", runErr)
+	}
+	if ErrRateLimited != core.ErrRateLimited || core.ErrRateLimited != sgx.ErrRateLimited {
+		t.Fatal("rate-limit sentinels are distinct values across layers")
 	}
 }
 

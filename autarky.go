@@ -151,6 +151,10 @@ type Machine struct {
 	schedPolicy sched.PolicyKind
 	quantum     uint64
 	nextBase    mmu.VAddr
+
+	// backendErr records a WithBackingStore spec rejection; machine
+	// construction cannot fail, so the first Spawn/LoadApp surfaces it.
+	backendErr error
 }
 
 // Option customizes machine construction.
@@ -165,6 +169,7 @@ type machineConfig struct {
 	rootSecret  []byte
 	schedPolicy sched.PolicyKind
 	quantum     uint64
+	backing     *BackingStore
 }
 
 // withEPCBase places the machine's EPC at a specific physical frame range
@@ -218,6 +223,15 @@ func NewMachine(opts ...Option) *Machine {
 	cpu := sgx.NewCPU(clock, &costs, tlb, pt, epc, reg, cfg.rootSecret)
 	store := pagestore.NewStore()
 	kernel := hostos.NewKernel(cpu, pt, store, clock, &costs)
+	var backendErr error
+	if cfg.backing != nil {
+		backend, err := buildBacking(cfg.backing, store, clock, costs, 0)
+		if err != nil {
+			backendErr = err
+		} else {
+			kernel.SetBackend(backend)
+		}
+	}
 	return &Machine{
 		Clock:       clock,
 		Costs:       &costs,
@@ -230,6 +244,7 @@ func NewMachine(opts ...Option) *Machine {
 		schedPolicy: cfg.schedPolicy,
 		quantum:     cfg.quantum,
 		nextBase:    libos.DefaultBase,
+		backendErr:  backendErr,
 	}
 }
 
@@ -241,6 +256,9 @@ func NewMachine(opts ...Option) *Machine {
 // Deprecated: use Spawn, which places any number of co-resident enclaves
 // and schedules them; Proc.Run is a drop-in replacement for Process.Run.
 func (m *Machine) LoadApp(img AppImage, cfg Config) (*Process, error) {
+	if m.backendErr != nil {
+		return nil, m.backendErr
+	}
 	return libos.Load(m.Kernel, m.Clock, m.Costs, img, cfg)
 }
 

@@ -93,17 +93,48 @@ func (d *fakeDriver) AugPages(e *sgx.Enclave, pages []mmu.VAddr, perms []mmu.Per
 	return pfns, nil
 }
 
-func (d *fakeDriver) GetBlob(e *sgx.Enclave, va mmu.VAddr) (pagestore.Blob, error) {
-	b, ok := d.blobs[va.VPN()]
+func (d *fakeDriver) Blobs() pagestore.PagingBackend { return fakeBackend{d} }
+
+// fakeBackend is the fake driver's sealed-blob transport, keyed by VPN.
+type fakeBackend struct{ d *fakeDriver }
+
+func (f fakeBackend) Name() string { return "fake" }
+
+func (f fakeBackend) Evict(enclaveID uint64, va mmu.VAddr, b pagestore.Blob) error {
+	f.d.blobs[va.VPN()] = b
+	return nil
+}
+
+func (f fakeBackend) Fetch(enclaveID uint64, va mmu.VAddr) (pagestore.Blob, error) {
+	b, ok := f.d.blobs[va.VPN()]
 	if !ok {
 		return pagestore.Blob{}, pagestore.ErrNotFound
 	}
 	return b, nil
 }
 
-func (d *fakeDriver) PutBlob(e *sgx.Enclave, va mmu.VAddr, b pagestore.Blob) error {
-	d.blobs[va.VPN()] = b
+func (f fakeBackend) Drop(enclaveID uint64, va mmu.VAddr) error {
+	delete(f.d.blobs, va.VPN())
 	return nil
+}
+
+func (f fakeBackend) EvictBatch(enclaveID uint64, pages []pagestore.PageBlob) error {
+	for _, pb := range pages {
+		f.d.blobs[pb.VA.VPN()] = pb.Blob
+	}
+	return nil
+}
+
+func (f fakeBackend) FetchBatch(enclaveID uint64, pages []mmu.VAddr) ([]pagestore.Blob, error) {
+	out := make([]pagestore.Blob, len(pages))
+	for i, va := range pages {
+		b, ok := f.d.blobs[va.VPN()]
+		if !ok {
+			return nil, pagestore.ErrNotFound
+		}
+		out[i] = b
+	}
+	return out, nil
 }
 
 func (d *fakeDriver) RestrictPerms(e *sgx.Enclave, va mmu.VAddr, perms mmu.Perms) (mmu.PFN, error) {

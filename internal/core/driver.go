@@ -62,8 +62,11 @@ type Driver interface {
 
 	// SGXv2 software-paging services.
 	AugPages(e *sgx.Enclave, pages []mmu.VAddr, perms []mmu.Perms) ([]mmu.PFN, error)
-	GetBlob(e *sgx.Enclave, va mmu.VAddr) (pagestore.Blob, error)
-	PutBlob(e *sgx.Enclave, va mmu.VAddr, b pagestore.Blob) error
+	// Blobs is the sealed-blob transport: the backend stack the runtime
+	// moves self-sealed pages through (one exitless call per blob). The
+	// blobs are opaque to the OS; the runtime's sealing layer authenticates
+	// everything that comes back.
+	Blobs() pagestore.PagingBackend
 	RestrictPerms(e *sgx.Enclave, va mmu.VAddr, perms mmu.Perms) (mmu.PFN, error)
 	TrimPage(e *sgx.Enclave, va mmu.VAddr) (mmu.PFN, error)
 	RemovePage(e *sgx.Enclave, va mmu.VAddr) error

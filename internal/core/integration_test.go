@@ -197,6 +197,51 @@ func TestSGX2BlobTamperTerminates(t *testing.T) {
 	}
 }
 
+// TestSGX2ReplayedBlobTerminates covers the self-sealed SGXv2 blob format
+// end to end: replaying a stale blob for a software-evicted page must fail
+// the runtime's freshness check and terminate the enclave with an integrity
+// violation (the refined ErrStaleVersion diagnosis is advisory and stays
+// below the termination boundary).
+func TestSGX2ReplayedBlobTerminates(t *testing.T) {
+	p, k := newStack(t, img(64), libos.Config{
+		SelfPaging:     true,
+		Policy:         libos.PolicyRateLimit,
+		RateLimitBurst: 1 << 30,
+		QuotaPages:     36,
+		Mech:           core.MechSGX2,
+	})
+	err := p.Run(func(ctx *core.Context) {
+		heap := p.Heap.PageVAs()
+		// Three sweeps so some page is evicted, re-fetched and evicted again,
+		// leaving two archived blob versions to replay between.
+		for pass := 0; pass < 3; pass++ {
+			for _, va := range heap {
+				ctx.Store(va)
+			}
+		}
+		for _, va := range heap {
+			if resident, _ := p.Runtime.PageResident(va); !resident {
+				if k.Store.Replay(p.Enclave().ID, va) {
+					ctx.Load(va)
+					t.Error("access to replayed page completed")
+					return
+				}
+			}
+		}
+		t.Error("no evicted page had history to replay")
+	})
+	var term *sgx.TerminationError
+	if !errors.As(err, &term) {
+		t.Fatalf("replayed blob did not terminate: %v", err)
+	}
+	if term.Reason != sgx.TerminateIntegrity {
+		t.Fatalf("termination reason %v, want integrity-violation", term.Reason)
+	}
+	if !errors.Is(err, pagestore.ErrIntegrity) {
+		t.Fatalf("termination %v does not wrap pagestore.ErrIntegrity", err)
+	}
+}
+
 func TestSpuriousReEntryIsHarmless(t *testing.T) {
 	// An OS may EENTER with no pending exception (e.g. after a timer AEX);
 	// the dispatcher must not treat it as a fault.

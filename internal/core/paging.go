@@ -4,18 +4,23 @@ import (
 	"fmt"
 
 	"autarky/internal/mmu"
+	"autarky/internal/pagestore"
 	"autarky/internal/sim"
 )
 
 // This file implements the SGXv2 software self-paging path (paper §6): the
 // runtime performs the page encryption itself with its sealing key and uses
 // the dynamic memory-management instructions, at the cost of extra enclave
-// crossings per page.
+// crossings per page. Both directions move their sealed blobs through the
+// driver's PagingBackend transport as one batch per paging decision, so the
+// backend stack underneath (plain store, blob cache, ORAM) sees the whole
+// victim or fetch set in a single pipelined pass.
 
 // fetchSGX2 brings pages in: the driver EAUGs pending frames; the runtime
-// reads the sealed blob from untrusted memory, decrypts and authenticates
-// it against its own version counter, and EACCEPTCOPYs the plaintext.
-// A page that was never evicted before is simply accepted zero-filled.
+// reads the sealed blobs from untrusted memory in one batch, decrypts and
+// authenticates each against its own version counter, and EACCEPTCOPYs the
+// plaintext. A page that was never evicted before is simply accepted
+// zero-filled.
 func (r *Runtime) fetchSGX2(pages []mmu.VAddr) error {
 	perms := make([]mmu.Perms, len(pages))
 	for i, va := range pages {
@@ -28,16 +33,31 @@ func (r *Runtime) fetchSGX2(pages []mmu.VAddr) error {
 	if len(pfns) != len(pages) {
 		return fmt.Errorf("core: driver EAUGed %d of %d pages", len(pfns), len(pages))
 	}
+
+	// Previously evicted pages have sealed blobs outstanding; fetch them all
+	// in one backend pass.
+	var need []mmu.VAddr
+	for _, va := range pages {
+		if r.pages[va.VPN()].version > 0 {
+			need = append(need, va)
+		}
+	}
+	var blobs []pagestore.Blob
+	if len(need) > 0 {
+		blobs, err = r.Driver.Blobs().FetchBatch(r.enclave.ID, need)
+		if err != nil {
+			return fmt.Errorf("core: blobs for %d pages missing: %w", len(need), err)
+		}
+	}
+
 	sealer := r.enclave.Sealer()
+	j := 0
 	for i, va := range pages {
 		pi := r.pages[va.VPN()]
 		var plain []byte
 		if pi.version > 0 {
-			blob, err := r.Driver.GetBlob(r.enclave, va)
-			if err != nil {
-				return fmt.Errorf("core: blob for %s missing: %w", va, err)
-			}
-			plain, err = sealer.Open(va, pi.version, blob)
+			plain, err = sealer.Open(va, pi.version, blobs[j])
+			j++
 			if err != nil {
 				// Tampered or replayed content: integrity violation.
 				return fmt.Errorf("core: page %s: %w", va, err)
@@ -53,12 +73,15 @@ func (r *Runtime) fetchSGX2(pages []mmu.VAddr) error {
 	return nil
 }
 
-// evictSGX2 writes pages out: restrict to read-only (EMODPR+EACCEPT) so the
-// content is stable, read and seal it in software, hand the blob to the OS,
-// then trim and remove the page (EMODT+EACCEPT+EREMOVE).
+// evictSGX2 writes pages out in three pipelined phases over the whole
+// victim set: freeze every page read-only (EMODPR+EACCEPT) so the contents
+// are stable, read and seal each in software and hand the blobs to the OS
+// as one batch, then trim and remove every page (EMODT+EACCEPT+EREMOVE).
 func (r *Runtime) evictSGX2(pages []mmu.VAddr) error {
 	sealer := r.enclave.Sealer()
-	for _, va := range pages {
+
+	pfns := make([]mmu.PFN, len(pages))
+	for i, va := range pages {
 		pi := r.pages[va.VPN()]
 		roPerms := pi.perms &^ mmu.PermWrite
 		pfn, err := r.Driver.RestrictPerms(r.enclave, va, roPerms)
@@ -68,7 +91,13 @@ func (r *Runtime) evictSGX2(pages []mmu.VAddr) error {
 		if err := r.CPU.EACCEPT(va, pfn); err != nil {
 			return err
 		}
-		data, err := r.CPU.ReadEnclavePage(va, pfn)
+		pfns[i] = pfn
+	}
+
+	batch := make([]pagestore.PageBlob, len(pages))
+	for i, va := range pages {
+		pi := r.pages[va.VPN()]
+		data, err := r.CPU.ReadEnclavePage(va, pfns[i])
 		if err != nil {
 			return err
 		}
@@ -79,9 +108,13 @@ func (r *Runtime) evictSGX2(pages []mmu.VAddr) error {
 		if err != nil {
 			return err
 		}
-		if err := r.Driver.PutBlob(r.enclave, va, blob); err != nil {
-			return err
-		}
+		batch[i] = pagestore.PageBlob{VA: va, Blob: blob}
+	}
+	if err := r.Driver.Blobs().EvictBatch(r.enclave.ID, batch); err != nil {
+		return err
+	}
+
+	for _, va := range pages {
 		trimPFN, err := r.Driver.TrimPage(r.enclave, va)
 		if err != nil {
 			return err

@@ -1,17 +1,20 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 
 	"autarky/internal/cluster"
 	"autarky/internal/metrics"
 	"autarky/internal/mmu"
+	"autarky/internal/sgx"
 )
 
 // ErrRateLimited marks a policy refusal caused by the fault-rate bound
 // (terminates with TerminateRateLimit rather than TerminateAttackDetected).
-var ErrRateLimited = errors.New("fault rate bound exceeded")
+// It aliases the canonical sentinel in internal/sgx — the same value the
+// facade re-exports and sgx.TerminationError unwraps to — so errors.Is
+// matches the condition across every layer.
+var ErrRateLimited = sgx.ErrRateLimited
 
 // Policy is a pluggable secure self-paging policy (paper §5.2). The runtime
 // calls it from the trusted fault handler; everything a policy decides is

@@ -6,6 +6,7 @@ import (
 
 	"autarky/internal/metrics"
 	"autarky/internal/mmu"
+	"autarky/internal/pagestore"
 	"autarky/internal/sgx"
 	"autarky/internal/sim"
 )
@@ -266,7 +267,7 @@ func (r *Runtime) handleFault(f mmu.Fault) {
 			r.CPU.Terminate(sgx.TerminateRateLimit, err.Error())
 		}
 		if err := r.Driver.FetchPages(r.enclave, []mmu.VAddr{va}); err != nil {
-			r.CPU.Terminate(sgx.TerminatePolicy, "OS failed to service forwarded fault: "+err.Error())
+			r.terminateFetch(err, "OS failed to service forwarded fault: ")
 		}
 		return
 	}
@@ -291,8 +292,20 @@ func (r *Runtime) handleFault(f mmu.Fault) {
 		return
 	}
 	if err := r.fetchPages(fetch); err != nil {
-		r.CPU.Terminate(sgx.TerminatePolicy, "self-paging fetch failed: "+err.Error())
+		r.terminateFetch(err, "self-paging fetch failed: ")
 	}
+}
+
+// terminateFetch kills the enclave after a failed page-in, distinguishing a
+// swapped-in page that failed its integrity/freshness check (a tampered,
+// truncated, replayed or mis-keyed blob on either paging path) from other
+// fetch failures.
+func (r *Runtime) terminateFetch(err error, prefix string) {
+	if errors.Is(err, pagestore.ErrIntegrity) {
+		r.CPU.Terminate(sgx.TerminateIntegrity, prefix+err.Error())
+		return
+	}
+	r.CPU.Terminate(sgx.TerminatePolicy, prefix+err.Error())
 }
 
 func (r *Runtime) detectAttack(detail string) {

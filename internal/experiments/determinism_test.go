@@ -38,6 +38,9 @@ func determinismCases() []struct {
 	e10.Tenants = []int{1, 2, 4}
 	e10.Rounds = 600
 
+	e11 := DefaultE11Params()
+	e11.Rounds = 600
+
 	return []struct {
 		name string
 		run  func() *Table
@@ -55,6 +58,7 @@ func determinismCases() []struct {
 		{"E8b", func() *Table { return RunE8CodeClusters(150).Table() }},
 		{"E9", func() *Table { return RunE9().Table() }},
 		{"E10", func() *Table { return RunE10(e10).Table() }},
+		{"E11", func() *Table { return RunE11(e11).Table() }},
 	}
 }
 

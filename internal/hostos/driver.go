@@ -152,7 +152,7 @@ func (k *Kernel) EvictPages(e *sgx.Enclave, pages []mmu.VAddr) error {
 		}
 		k.CPU.CompleteShootdown(p.E)
 		for _, ps := range victims {
-			if err := k.CPU.EWB(p.E, ps.va, ps.pfn, k.Store); err != nil {
+			if err := k.CPU.EWB(p.E, ps.va, ps.pfn, k.backend); err != nil {
 				return err
 			}
 			ps.resident = false
@@ -212,19 +212,61 @@ func (k *Kernel) AugPages(e *sgx.Enclave, pages []mmu.VAddr, perms []mmu.Perms) 
 	return pfns, nil
 }
 
-// GetBlob returns the sealed blob for a page from untrusted memory
-// (the SGXv2 fetch path: the runtime decrypts and EACCEPTCOPYs it).
-func (k *Kernel) GetBlob(e *sgx.Enclave, va mmu.VAddr) (pagestore.Blob, error) {
-	k.chargeCall()
-	return k.Store.Get(e.ID, va.PageBase())
+// Blobs returns the sealed-blob transport of the SGXv2 software paging
+// path: the runtime's window onto the kernel's backend stack. Every blob
+// that crosses it — batched or not — pays one driver call, because the
+// shared-memory request ring carries one page per slot (§6); the batch
+// variants exist so the backend stack underneath can still process a
+// victim set as one pipelined pass.
+func (k *Kernel) Blobs() pagestore.PagingBackend { return driverBackend{k} }
+
+// driverBackend adapts the kernel's backend stack as the runtime-facing
+// blob transport, charging the per-call driver overhead the old
+// GetBlob/PutBlob syscalls charged.
+type driverBackend struct{ k *Kernel }
+
+var _ pagestore.PagingBackend = driverBackend{}
+
+// Name implements pagestore.PagingBackend.
+func (d driverBackend) Name() string { return "driver+" + d.k.backend.Name() }
+
+// Evict implements pagestore.PagingBackend (the SGXv2 eviction path).
+func (d driverBackend) Evict(enclaveID uint64, va mmu.VAddr, b pagestore.Blob) error {
+	d.k.chargeCall()
+	return d.k.backend.Evict(enclaveID, va.PageBase(), b)
 }
 
-// PutBlob stores a runtime-sealed blob in untrusted memory (the SGXv2
-// eviction path).
-func (k *Kernel) PutBlob(e *sgx.Enclave, va mmu.VAddr, b pagestore.Blob) error {
-	k.chargeCall()
-	k.Store.Put(e.ID, va.PageBase(), b)
-	return nil
+// Fetch implements pagestore.PagingBackend (the SGXv2 fetch path: the
+// runtime decrypts and EACCEPTCOPYs the result).
+func (d driverBackend) Fetch(enclaveID uint64, va mmu.VAddr) (pagestore.Blob, error) {
+	d.k.chargeCall()
+	return d.k.backend.Fetch(enclaveID, va.PageBase())
+}
+
+// Drop implements pagestore.PagingBackend.
+func (d driverBackend) Drop(enclaveID uint64, va mmu.VAddr) error {
+	d.k.chargeCall()
+	return d.k.backend.Drop(enclaveID, va.PageBase())
+}
+
+// EvictBatch implements pagestore.PagingBackend.
+func (d driverBackend) EvictBatch(enclaveID uint64, pages []pagestore.PageBlob) error {
+	norm := make([]pagestore.PageBlob, len(pages))
+	for i, pb := range pages {
+		d.k.chargeCall()
+		norm[i] = pagestore.PageBlob{VA: pb.VA.PageBase(), Blob: pb.Blob}
+	}
+	return d.k.backend.EvictBatch(enclaveID, norm)
+}
+
+// FetchBatch implements pagestore.PagingBackend.
+func (d driverBackend) FetchBatch(enclaveID uint64, pages []mmu.VAddr) ([]pagestore.Blob, error) {
+	norm := make([]mmu.VAddr, len(pages))
+	for i, va := range pages {
+		d.k.chargeCall()
+		norm[i] = va.PageBase()
+	}
+	return d.k.backend.FetchBatch(enclaveID, norm)
 }
 
 // RestrictPerms EMODPRs the page to the given permissions (with the TLB

@@ -393,12 +393,15 @@ func TestSGX2ServiceFlow(t *testing.T) {
 	if resident, managed, ok := p.Page(fresh); !ok || !resident || !managed {
 		t.Fatal("EAUGed page not tracked as resident+managed")
 	}
-	// Blob passthrough.
-	if err := m.kernel.PutBlob(e, fresh, pagestore.Blob{Ciphertext: []byte{1}}); err != nil {
+	// Blob passthrough over the driver's backend transport.
+	if err := m.kernel.Blobs().Evict(e.ID, fresh, pagestore.Blob{Ciphertext: []byte{1}}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.kernel.GetBlob(e, fresh); err != nil {
+	if _, err := m.kernel.Blobs().Fetch(e.ID, fresh); err != nil {
 		t.Fatal(err)
+	}
+	if got := m.kernel.Blobs().Name(); got != "driver+store" {
+		t.Fatalf("default backend stack name = %q", got)
 	}
 }
 

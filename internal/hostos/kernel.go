@@ -195,6 +195,13 @@ type Kernel struct {
 	// cross-enclave victim scan is deterministic (map iteration is not).
 	procList []*Proc
 	m        *metrics.Metrics
+
+	// backend is the storage hierarchy every paging path writes sealed
+	// blobs to and reads them from. It defaults to the plain Store; the
+	// facade may stack a blob cache or an ORAM layer in front via
+	// SetBackend. The Store field stays the terminal level of whatever
+	// stack is installed.
+	backend pagestore.PagingBackend
 }
 
 // NewKernel wires the kernel to the machine and installs itself as the
@@ -209,10 +216,19 @@ func NewKernel(cpu *sgx.CPU, pt *mmu.PageTable, store *pagestore.Store, clock *s
 		Adversary: NopAdversary{},
 		procs:     make(map[uint64]*Proc),
 		m:         metrics.Of(clock),
+		backend:   store,
 	}
 	cpu.OS = k
 	return k
 }
+
+// SetBackend installs a paging-backend stack (cache, ORAM, ...) in front of
+// the plain store. Call it before any enclave is loaded: switching backends
+// with blobs outstanding would strand them in the old stack.
+func (k *Kernel) SetBackend(b pagestore.PagingBackend) { k.backend = b }
+
+// Backend returns the installed paging-backend stack.
+func (k *Kernel) Backend() pagestore.PagingBackend { return k.backend }
 
 // Proc returns the process state for an enclave.
 func (k *Kernel) Proc(e *sgx.Enclave) *Proc { return k.procs[e.ID] }
@@ -422,7 +438,7 @@ func (k *Kernel) pageIn(p *Proc, ps *pageState) error {
 		return err
 	}
 	k.FetchLog.Add(trace.Event{Cycle: k.Clock.Cycles(), Addr: ps.va, Type: mmu.AccessRead, Kind: trace.KindFault})
-	pfn, err := k.CPU.ELDU(p.E, ps.va, k.Store)
+	pfn, err := k.CPU.ELDU(p.E, ps.va, k.backend)
 	if err != nil {
 		return err
 	}
@@ -547,7 +563,7 @@ func (k *Kernel) evictOne(p *Proc, ps *pageState) error {
 	}
 	k.CPU.TLB.Shootdown(ps.va)
 	k.CPU.CompleteShootdown(p.E)
-	if err := k.CPU.EWB(p.E, ps.va, ps.pfn, k.Store); err != nil {
+	if err := k.CPU.EWB(p.E, ps.va, ps.pfn, k.backend); err != nil {
 		return err
 	}
 	ps.resident = false

@@ -100,6 +100,15 @@ const (
 	CntSchedSwitches    // dispatches that changed the running process
 	CntSchedPreemptions // involuntary quantum expirations (timer AEX parks)
 
+	// Paging backends (pagestore.PagingBackend wrappers: the sealed-blob
+	// cache and the ORAM backend). The plain in-RAM store stays silent;
+	// wrapping backends count the traffic and bytes that cross them.
+	CntBackendStores // sealed blobs written into a backend (Evict + batch)
+	CntBackendLoads  // sealed blobs read out of a backend (Fetch + batch)
+	CntBackendHits   // blob served from a cache level without touching inner
+	CntBackendMisses // blob that had to come from the inner backend
+	CntBackendBytes  // ciphertext bytes moved through a backend, both ways
+
 	// NumCounters is the array size, not a counter.
 	NumCounters
 )
@@ -169,6 +178,12 @@ var counterNames = [NumCounters]string{
 	CntSchedDispatches:  "sched.dispatches",
 	CntSchedSwitches:    "sched.switches",
 	CntSchedPreemptions: "sched.preemptions",
+
+	CntBackendStores: "backend.stores",
+	CntBackendLoads:  "backend.loads",
+	CntBackendHits:   "backend.hits",
+	CntBackendMisses: "backend.misses",
+	CntBackendBytes:  "backend.bytes",
 }
 
 // Name returns the counter's stable wire name.

@@ -1,0 +1,222 @@
+package pagestore
+
+import (
+	"container/list"
+	"fmt"
+
+	"autarky/internal/metrics"
+	"autarky/internal/mmu"
+	"autarky/internal/sim"
+)
+
+// CachedBackend is a bounded write-back cache of sealed blobs layered over
+// any inner PagingBackend. It absorbs the common controlled-channel-defense
+// pattern where a page evicted under EPC pressure is faulted right back in:
+// the re-fetch is served from the cache without paying the inner backend's
+// cost (for an ORAM inner backend, without a tree access at all).
+//
+// The cache is write-back: an evicted blob lands in the cache and reaches
+// the inner backend only when LRU pressure pushes it out. Replacement is a
+// strict LRU over (enclave, page) keys, maintained with an intrusive list —
+// no map iteration, so identical call sequences produce identical
+// write-back order and identical cycle charges.
+//
+// The cache lives in untrusted memory and holds only sealed blobs; it needs
+// no trust because the sealing layer authenticates whatever comes back.
+type CachedBackend struct {
+	inner    PagingBackend
+	capacity int
+	clock    *sim.Clock
+	costs    sim.Costs
+	meter    *metrics.Metrics
+
+	entries map[storeKey]*list.Element
+	lru     *list.List // front = most recent; back = next write-back victim
+}
+
+type cacheEntry struct {
+	key  storeKey
+	blob Blob
+}
+
+var _ PagingBackend = (*CachedBackend)(nil)
+
+// NewCachedBackend builds a cache of at most capacity sealed blobs in front
+// of inner. Capacity must be positive; the facade validates user-supplied
+// sizes before they reach here.
+func NewCachedBackend(inner PagingBackend, capacity int, clock *sim.Clock, costs sim.Costs) *CachedBackend {
+	if capacity < 1 {
+		panic(fmt.Sprintf("pagestore: cache capacity %d, want >= 1", capacity))
+	}
+	return &CachedBackend{
+		inner:    inner,
+		capacity: capacity,
+		clock:    clock,
+		costs:    costs,
+		meter:    metrics.Of(clock),
+		entries:  make(map[storeKey]*list.Element),
+		lru:      list.New(),
+	}
+}
+
+// Name implements PagingBackend.
+func (c *CachedBackend) Name() string {
+	return fmt.Sprintf("cache(%d)+%s", c.capacity, c.inner.Name())
+}
+
+// Evict implements PagingBackend: the blob lands in the cache; LRU overflow
+// is written back to the inner backend.
+func (c *CachedBackend) Evict(enclaveID uint64, va mmu.VAddr, b Blob) error {
+	c.clock.ChargeAs(sim.CatPaging, c.costs.BlobCacheLookup)
+	c.meter.Inc(metrics.CntBackendStores)
+	c.meter.Add(metrics.CntBackendBytes, uint64(len(b.Ciphertext)))
+	c.insert(key(enclaveID, va), b)
+	return c.writeBackOverflow()
+}
+
+// Fetch implements PagingBackend. A hit is served from the cache (the entry
+// stays resident — it still holds the current sealed contents); a miss goes
+// to the inner backend and pays the blob copy between levels. Misses do not
+// populate the cache: only eviction traffic does, which is what makes the
+// hit rate measure re-fetch absorption rather than read locality.
+func (c *CachedBackend) Fetch(enclaveID uint64, va mmu.VAddr) (Blob, error) {
+	c.clock.ChargeAs(sim.CatPaging, c.costs.BlobCacheLookup)
+	c.meter.Inc(metrics.CntBackendLoads)
+	k := key(enclaveID, va)
+	if el, ok := c.entries[k]; ok {
+		c.lru.MoveToFront(el)
+		b := el.Value.(*cacheEntry).blob
+		c.meter.Inc(metrics.CntBackendHits)
+		c.meter.Add(metrics.CntBackendBytes, uint64(len(b.Ciphertext)))
+		return b, nil
+	}
+	b, err := c.inner.Fetch(enclaveID, va)
+	if err != nil {
+		return Blob{}, err
+	}
+	c.clock.ChargeAs(sim.CatPaging, c.costs.BlobCopy)
+	c.meter.Inc(metrics.CntBackendMisses)
+	c.meter.Add(metrics.CntBackendBytes, uint64(len(b.Ciphertext)))
+	return b, nil
+}
+
+// Drop implements PagingBackend. The blob may live in the cache, in the
+// inner backend, or both (a cached entry whose earlier incarnation was
+// written back), so both levels are dropped.
+func (c *CachedBackend) Drop(enclaveID uint64, va mmu.VAddr) error {
+	c.clock.ChargeAs(sim.CatPaging, c.costs.BlobCacheLookup)
+	k := key(enclaveID, va)
+	if el, ok := c.entries[k]; ok {
+		c.lru.Remove(el)
+		delete(c.entries, k)
+	}
+	return c.inner.Drop(enclaveID, va)
+}
+
+// EvictBatch implements PagingBackend as one pipelined pass: all victims
+// enter the cache first, then the accumulated overflow is written back to
+// the inner backend in LRU (oldest-first) order, batching consecutive
+// same-enclave runs. (Overflow can belong to a different enclave than the
+// batch being evicted when co-resident enclaves share the backend.)
+func (c *CachedBackend) EvictBatch(enclaveID uint64, pages []PageBlob) error {
+	var overflow []cacheEntry
+	for _, pb := range pages {
+		c.clock.ChargeAs(sim.CatPaging, c.costs.BlobCacheLookup)
+		c.meter.Inc(metrics.CntBackendStores)
+		c.meter.Add(metrics.CntBackendBytes, uint64(len(pb.Blob.Ciphertext)))
+		c.insert(key(enclaveID, pb.VA), pb.Blob)
+		for c.lru.Len() > c.capacity {
+			overflow = append(overflow, c.popVictim())
+		}
+	}
+	if len(overflow) == 0 {
+		return nil
+	}
+	c.clock.ChargeAs(sim.CatPaging, uint64(len(overflow))*c.costs.BlobCopy)
+	for start := 0; start < len(overflow); {
+		end := start + 1
+		for end < len(overflow) && overflow[end].key.enclaveID == overflow[start].key.enclaveID {
+			end++
+		}
+		run := make([]PageBlob, 0, end-start)
+		for _, ent := range overflow[start:end] {
+			run = append(run, PageBlob{VA: mmu.PageOf(ent.key.vpn), Blob: ent.blob})
+		}
+		if err := c.inner.EvictBatch(overflow[start].key.enclaveID, run); err != nil {
+			return err
+		}
+		start = end
+	}
+	return nil
+}
+
+// FetchBatch implements PagingBackend: hits come straight from the cache
+// and only the misses travel to the inner backend, as one batch.
+func (c *CachedBackend) FetchBatch(enclaveID uint64, pages []mmu.VAddr) ([]Blob, error) {
+	out := make([]Blob, len(pages))
+	var missVAs []mmu.VAddr
+	var missIdx []int
+	for i, va := range pages {
+		c.clock.ChargeAs(sim.CatPaging, c.costs.BlobCacheLookup)
+		c.meter.Inc(metrics.CntBackendLoads)
+		if el, ok := c.entries[key(enclaveID, va)]; ok {
+			c.lru.MoveToFront(el)
+			out[i] = el.Value.(*cacheEntry).blob
+			c.meter.Inc(metrics.CntBackendHits)
+			c.meter.Add(metrics.CntBackendBytes, uint64(len(out[i].Ciphertext)))
+			continue
+		}
+		missVAs = append(missVAs, va)
+		missIdx = append(missIdx, i)
+	}
+	if len(missVAs) == 0 {
+		return out, nil
+	}
+	fetched, err := c.inner.FetchBatch(enclaveID, missVAs)
+	if err != nil {
+		return nil, err
+	}
+	c.clock.ChargeAs(sim.CatPaging, uint64(len(fetched))*c.costs.BlobCopy)
+	for j, b := range fetched {
+		out[missIdx[j]] = b
+		c.meter.Inc(metrics.CntBackendMisses)
+		c.meter.Add(metrics.CntBackendBytes, uint64(len(b.Ciphertext)))
+	}
+	return out, nil
+}
+
+// Len reports how many blobs the cache currently holds (tests only).
+func (c *CachedBackend) Len() int { return c.lru.Len() }
+
+// insert places (or refreshes) a blob at the MRU position. The caller is
+// responsible for flushing any resulting overflow.
+func (c *CachedBackend) insert(k storeKey, b Blob) {
+	if el, ok := c.entries[k]; ok {
+		el.Value.(*cacheEntry).blob = b
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[k] = c.lru.PushFront(&cacheEntry{key: k, blob: b})
+}
+
+// popVictim removes and returns the LRU entry for write-back.
+func (c *CachedBackend) popVictim() cacheEntry {
+	el := c.lru.Back()
+	ent := el.Value.(*cacheEntry)
+	c.lru.Remove(el)
+	delete(c.entries, ent.key)
+	return *ent
+}
+
+// writeBackOverflow flushes LRU overflow one blob at a time (the single-
+// eviction path; batch eviction flushes overflow in one inner batch).
+func (c *CachedBackend) writeBackOverflow() error {
+	for c.lru.Len() > c.capacity {
+		ent := c.popVictim()
+		c.clock.ChargeAs(sim.CatPaging, c.costs.BlobCopy)
+		if err := c.inner.Evict(ent.key.enclaveID, mmu.PageOf(ent.key.vpn), ent.blob); err != nil {
+			return err
+		}
+	}
+	return nil
+}

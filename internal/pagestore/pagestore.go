@@ -32,9 +32,25 @@ import (
 var (
 	// ErrIntegrity indicates the blob failed authentication: it was
 	// tampered with, replayed (stale version), or bound to a different page.
+	// Every refined unseal error below wraps it, so errors.Is(err,
+	// ErrIntegrity) still matches the whole class.
 	ErrIntegrity = errors.New("pagestore: page blob failed integrity/freshness check")
 	// ErrNotFound indicates no blob is stored for the page.
 	ErrNotFound = errors.New("pagestore: no blob for page")
+
+	// The refined classifications are diagnostic: they are derived from the
+	// blob's untrusted advisory fields, so an attacker can always disguise
+	// one failure as another — but never as success, because the AEAD check
+	// against the trusted version counter remains the sole authority.
+
+	// ErrTruncated: the ciphertext is shorter than a sealed page can be.
+	ErrTruncated = fmt.Errorf("%w: blob truncated", ErrIntegrity)
+	// ErrStaleVersion: the blob advertises an eviction version older (or
+	// newer) than the trusted counter expects — the shape of a replay.
+	ErrStaleVersion = fmt.Errorf("%w: blob version is stale (replay?)", ErrIntegrity)
+	// ErrWrongEnclave: the blob advertises another enclave's identity — it
+	// was sealed under a different key and can never authenticate here.
+	ErrWrongEnclave = fmt.Errorf("%w: blob sealed for a different enclave", ErrIntegrity)
 )
 
 // Blob is one sealed page as held in untrusted memory.
@@ -42,8 +58,13 @@ type Blob struct {
 	Ciphertext []byte // AES-GCM ciphertext || tag
 	// Version as claimed by the untrusted store. The trusted side never
 	// relies on it; it is advisory (the real freshness check is the MAC
-	// binding of the trusted version counter).
+	// binding of the trusted version counter). Open uses it only to refine
+	// an inevitable failure into ErrStaleVersion.
 	Version uint64
+	// EnclaveID as claimed by the untrusted store — advisory like Version
+	// (the real binding is the per-enclave key and AAD). Open uses it only
+	// to refine an inevitable failure into ErrWrongEnclave.
+	EnclaveID uint64
 }
 
 // Sealer seals and opens pages for one enclave. It is trusted state: in the
@@ -96,15 +117,27 @@ func (s *Sealer) Seal(va mmu.VAddr, version uint64, plain []byte) (Blob, error) 
 		return Blob{}, fmt.Errorf("pagestore: sealing %d bytes, want %d", len(plain), mmu.PageSize)
 	}
 	ct := s.aead.Seal(nil, s.nonce(va, version), plain, s.aad(va, version))
-	return Blob{Ciphertext: ct, Version: version}, nil
+	return Blob{Ciphertext: ct, Version: version, EnclaveID: s.enclaveID}, nil
 }
 
 // Open decrypts a blob that must have been sealed for exactly
-// (va, expectVersion). A stale (replayed) or tampered blob fails with
-// ErrIntegrity.
+// (va, expectVersion). Any tampered, replayed or mis-bound blob fails with
+// an error matching ErrIntegrity; when the blob's (untrusted, advisory)
+// metadata reveals the failure mode, the error is refined to ErrTruncated,
+// ErrStaleVersion or ErrWrongEnclave — all of which wrap ErrIntegrity, so
+// the security decision never depends on the refinement.
 func (s *Sealer) Open(va mmu.VAddr, expectVersion uint64, b Blob) ([]byte, error) {
+	if len(b.Ciphertext) < mmu.PageSize+s.aead.Overhead() {
+		return nil, ErrTruncated
+	}
 	plain, err := s.aead.Open(nil, s.nonce(va, expectVersion), b.Ciphertext, s.aad(va, expectVersion))
 	if err != nil {
+		switch {
+		case b.EnclaveID != s.enclaveID:
+			return nil, ErrWrongEnclave
+		case b.Version != expectVersion:
+			return nil, ErrStaleVersion
+		}
 		return nil, ErrIntegrity
 	}
 	return plain, nil
@@ -174,7 +207,7 @@ func (st *Store) Corrupt(enclaveID uint64, va mmu.VAddr) bool {
 	ct := make([]byte, len(b.Ciphertext))
 	copy(ct, b.Ciphertext)
 	ct[0] ^= 0xff
-	st.blobs[k] = Blob{Ciphertext: ct, Version: b.Version}
+	st.blobs[k] = Blob{Ciphertext: ct, Version: b.Version, EnclaveID: b.EnclaveID}
 	return true
 }
 

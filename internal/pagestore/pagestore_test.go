@@ -162,6 +162,59 @@ func TestStoreCorrupt(t *testing.T) {
 	}
 }
 
+// TestOpenDistinguishesFailureModes locks the refined unseal taxonomy: each
+// attack class yields its own sentinel, every sentinel wraps ErrIntegrity
+// (so security decisions never depend on the refinement), and the
+// refinements never match each other.
+func TestOpenDistinguishesFailureModes(t *testing.T) {
+	s, _ := NewSealer(secret, 1)
+	other, _ := NewSealer(secret, 2)
+	good, _ := s.Seal(0x1000, 2, page(0xaa))
+
+	truncated := good
+	truncated.Ciphertext = good.Ciphertext[:8]
+
+	flipped := good
+	flipped.Ciphertext = append([]byte(nil), good.Ciphertext...)
+	flipped.Ciphertext[0] ^= 0xff
+
+	stale, _ := s.Seal(0x1000, 1, page(0xaa)) // opened expecting version 2
+
+	foreign, _ := other.Seal(0x1000, 2, page(0xaa))
+
+	cases := []struct {
+		name string
+		blob Blob
+		want error
+	}{
+		{"truncated", truncated, ErrTruncated},
+		{"bit-flipped", flipped, ErrIntegrity},
+		{"replayed stale version", stale, ErrStaleVersion},
+		{"wrong enclave", foreign, ErrWrongEnclave},
+	}
+	refinements := []error{ErrTruncated, ErrStaleVersion, ErrWrongEnclave}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := s.Open(0x1000, 2, tc.blob)
+			if err == nil {
+				t.Fatal("attacked blob unsealed")
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("error %v, want %v", err, tc.want)
+			}
+			if !errors.Is(err, ErrIntegrity) {
+				t.Fatalf("error %v does not wrap ErrIntegrity", err)
+			}
+			// No refinement may claim an attack it did not diagnose.
+			for _, ref := range refinements {
+				if ref != tc.want && errors.Is(err, ref) {
+					t.Fatalf("error %v also matches unrelated %v", err, ref)
+				}
+			}
+		})
+	}
+}
+
 func TestSealOpenProperty(t *testing.T) {
 	s, _ := NewSealer(secret, 9)
 	if err := quick.Check(func(vpn uint16, version uint64, fill byte) bool {

@@ -22,7 +22,11 @@
 // models what the trusted hardware enforces on top.
 package sgx
 
-import "errors"
+import (
+	"errors"
+
+	"autarky/internal/pagestore"
+)
 
 // Attributes is the enclave attribute word. It is part of the enclave's
 // measured identity: flipping a bit changes the measurement, so a relying
@@ -85,6 +89,15 @@ var (
 	ErrBadAddress = errors.New("sgx: address outside enclave range")
 )
 
+// ErrRateLimited is the one canonical rate-limit sentinel: the enclave's
+// legitimate fault rate exceeded the configured bound (paper §5.2.4). The
+// core policy layer and the public facade alias it rather than defining
+// their own, and TerminationError unwraps to it, so errors.Is matches the
+// condition at every layer. The message carries no package prefix because
+// it predates this definition in internal/core and is part of rendered
+// experiment output.
+var ErrRateLimited = errors.New("fault rate bound exceeded")
+
 // TerminationReason records why the trusted runtime killed its enclave.
 type TerminationReason int
 
@@ -134,4 +147,19 @@ type TerminationError struct {
 // Error implements the error interface.
 func (e *TerminationError) Error() string {
 	return "sgx: enclave terminated: " + e.Reason.String() + ": " + e.Detail
+}
+
+// Unwrap maps the termination reason onto the matching condition sentinel,
+// so errors.Is sees through a termination to its cause: a rate-limit
+// termination matches ErrRateLimited (and the aliases of it in core and the
+// facade), an integrity termination matches pagestore.ErrIntegrity.
+func (e *TerminationError) Unwrap() error {
+	switch e.Reason {
+	case TerminateRateLimit:
+		return ErrRateLimited
+	case TerminateIntegrity:
+		return pagestore.ErrIntegrity
+	default:
+		return nil
+	}
 }

@@ -79,9 +79,9 @@ func (c *CPU) CompleteShootdown(e *Enclave) {
 
 // EWB evicts a blocked, tracked enclave page: the content is sealed with a
 // fresh version (replay protection, modelling the VA-page chain) and handed
-// to the untrusted store, and the frame is freed. The OS must separately
-// unmap the PTE; hardware does not touch page tables.
-func (c *CPU) EWB(e *Enclave, va mmu.VAddr, pfn mmu.PFN, store *pagestore.Store) error {
+// to the untrusted paging backend, and the frame is freed. The OS must
+// separately unmap the PTE; hardware does not touch page tables.
+func (c *CPU) EWB(e *Enclave, va mmu.VAddr, pfn mmu.PFN, store pagestore.PagingBackend) error {
 	if err := c.requirePrivileged("EWB"); err != nil {
 		return err
 	}
@@ -109,7 +109,9 @@ func (c *CPU) EWB(e *Enclave, va mmu.VAddr, pfn mmu.PFN, store *pagestore.Store)
 		e.swappedPerms = make(map[uint64]mmu.Perms)
 	}
 	e.swappedPerms[vpn] = ent.Perms
-	store.Put(e.ID, va.PageBase(), blob)
+	if err := store.Evict(e.ID, va.PageBase(), blob); err != nil {
+		return err
+	}
 	c.EPC.Free(pfn)
 	// EWB's cost is dominated by the page re-encryption; attribute it to
 	// crypto, like the paper's Fig.5 "SGX paging incl. crypto" stack.
@@ -122,7 +124,7 @@ func (c *CPU) EWB(e *Enclave, va mmu.VAddr, pfn mmu.PFN, store *pagestore.Store)
 // verifying integrity and freshness against the trusted version counter.
 // It returns the new frame for the OS to map. A tampered or replayed blob
 // fails with pagestore.ErrIntegrity and allocates nothing.
-func (c *CPU) ELDU(e *Enclave, va mmu.VAddr, store *pagestore.Store) (mmu.PFN, error) {
+func (c *CPU) ELDU(e *Enclave, va mmu.VAddr, store pagestore.PagingBackend) (mmu.PFN, error) {
 	if err := c.requirePrivileged("ELDU"); err != nil {
 		return mmu.NoPFN, err
 	}
@@ -132,7 +134,7 @@ func (c *CPU) ELDU(e *Enclave, va mmu.VAddr, store *pagestore.Store) (mmu.PFN, e
 	if !swapped {
 		return mmu.NoPFN, fmt.Errorf("%w: ELDU of page %s that was never evicted", ErrEPCMConflict, va)
 	}
-	blob, err := store.Get(e.ID, va)
+	blob, err := store.Fetch(e.ID, va)
 	if err != nil {
 		return mmu.NoPFN, err
 	}
@@ -154,7 +156,9 @@ func (c *CPU) ELDU(e *Enclave, va mmu.VAddr, store *pagestore.Store) (mmu.PFN, e
 		Perms:     perms,
 	}
 	delete(e.swappedPerms, vpn)
-	store.Delete(e.ID, va)
+	if err := store.Drop(e.ID, va); err != nil {
+		return mmu.NoPFN, err
+	}
 	// Like EWB: decrypt-and-verify dominates, so ELDU is crypto work.
 	c.Clock.ChargeAs(sim.CatCrypto, c.Costs.ELDU)
 	c.m.Inc(metrics.CntELDU)

@@ -635,6 +635,87 @@ func TestELDURejectsTamperedBlob(t *testing.T) {
 	}
 }
 
+// TestELDUDistinguishesFailureModes covers the hardware VA-page blob format
+// end to end: each attack on the backing store surfaces its refined unseal
+// sentinel through ELDU, and all of them remain ErrIntegrity failures.
+func TestELDUDistinguishesFailureModes(t *testing.T) {
+	t.Run("truncated", func(t *testing.T) {
+		r := newRig(t)
+		e, _ := r.buildEnclave(t, 0, 1)
+		evictOne(t, r, e, rigBase)
+		blob, err := r.store.Get(e.ID, rigBase)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob.Ciphertext = blob.Ciphertext[:8]
+		r.store.Put(e.ID, rigBase, blob)
+		_, err = r.cpu.ELDU(e, rigBase, r.store)
+		if !errors.Is(err, pagestore.ErrTruncated) || !errors.Is(err, pagestore.ErrIntegrity) {
+			t.Fatalf("truncated blob: %v, want ErrTruncated wrapping ErrIntegrity", err)
+		}
+	})
+
+	t.Run("bit-flipped", func(t *testing.T) {
+		r := newRig(t)
+		e, _ := r.buildEnclave(t, 0, 1)
+		evictOne(t, r, e, rigBase)
+		if !r.store.Corrupt(e.ID, rigBase) {
+			t.Fatal("no blob to corrupt")
+		}
+		_, err := r.cpu.ELDU(e, rigBase, r.store)
+		if !errors.Is(err, pagestore.ErrIntegrity) {
+			t.Fatalf("tampered blob: %v, want ErrIntegrity", err)
+		}
+		// Metadata is intact, so no refinement may claim a diagnosis.
+		for _, ref := range []error{pagestore.ErrTruncated, pagestore.ErrStaleVersion, pagestore.ErrWrongEnclave} {
+			if errors.Is(err, ref) {
+				t.Fatalf("tampered blob misdiagnosed as %v", ref)
+			}
+		}
+	})
+
+	t.Run("replayed stale version", func(t *testing.T) {
+		r := newRig(t)
+		e, _ := r.buildEnclave(t, 0, 1)
+		evictOne(t, r, e, rigBase)
+		pfn, err := r.cpu.ELDU(e, rigBase, r.store)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.pt.Map(rigBase, pfn, mmu.PermRW, true)
+		evictOne(t, r, e, rigBase)
+		if !r.store.Replay(e.ID, rigBase) {
+			t.Fatal("no history to replay")
+		}
+		_, err = r.cpu.ELDU(e, rigBase, r.store)
+		if !errors.Is(err, pagestore.ErrStaleVersion) || !errors.Is(err, pagestore.ErrIntegrity) {
+			t.Fatalf("replayed blob: %v, want ErrStaleVersion wrapping ErrIntegrity", err)
+		}
+	})
+
+	t.Run("wrong enclave", func(t *testing.T) {
+		r := newRig(t)
+		a, _ := r.buildEnclave(t, 0, 1)
+		evictOne(t, r, a, rigBase)
+		// A second enclave over the same address range (A's page is out of
+		// the page table, so the mapping slot is free for B).
+		b, _ := r.buildEnclave(t, 0, 1)
+		evictOne(t, r, b, rigBase)
+		// Swap the two enclaves' blobs in the untrusted store.
+		blobA, errA := r.store.Get(a.ID, rigBase)
+		blobB, errB := r.store.Get(b.ID, rigBase)
+		if errA != nil || errB != nil {
+			t.Fatalf("missing blobs: %v %v", errA, errB)
+		}
+		r.store.Put(a.ID, rigBase, blobB)
+		r.store.Put(b.ID, rigBase, blobA)
+		_, err := r.cpu.ELDU(b, rigBase, r.store)
+		if !errors.Is(err, pagestore.ErrWrongEnclave) || !errors.Is(err, pagestore.ErrIntegrity) {
+			t.Fatalf("cross-enclave blob: %v, want ErrWrongEnclave wrapping ErrIntegrity", err)
+		}
+	})
+}
+
 func TestELDUOfNeverEvictedPage(t *testing.T) {
 	r := newRig(t)
 	e, _ := r.buildEnclave(t, 0, 1)

@@ -61,6 +61,10 @@ type Costs struct {
 	ObliviousWordScan uint64 // one CMOV-style oblivious compare+select per word
 	ORAMBlockMove     uint64 // move+re-encrypt one 4 KiB block along a path
 	ORAMCacheLookup   uint64 // hit-path lookup in the enclave-managed cache
+
+	// Paging-backend storage hierarchy (pagestore wrappers).
+	BlobCacheLookup uint64 // index probe in the sealed-blob cache
+	BlobCopy        uint64 // copy one sealed 4 KiB blob between backend levels
 }
 
 // DefaultCosts returns the calibrated model used by all experiments.
@@ -113,5 +117,10 @@ func DefaultCosts() Costs {
 		// Moving one 4 KiB block along a PathORAM path re-encrypts it.
 		ORAMBlockMove:   3000,
 		ORAMCacheLookup: 40,
+
+		// The blob cache is an ordinary hash-map probe in untrusted RAM…
+		BlobCacheLookup: 60,
+		// …but moving a sealed 4 KiB blob between levels streams the page.
+		BlobCopy: 1100,
 	}
 }

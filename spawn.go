@@ -116,6 +116,9 @@ func (m *Machine) ensureSched() error {
 // Configuration problems — including scheduler ones — are reported as
 // *ConfigError values matching errors.Is(err, ErrBadConfig).
 func (m *Machine) Spawn(img AppImage, cfg Config) (*Proc, error) {
+	if m.backendErr != nil {
+		return nil, m.backendErr
+	}
 	if err := m.ensureSched(); err != nil {
 		return nil, err
 	}

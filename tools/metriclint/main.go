@@ -14,6 +14,13 @@
 // internal/sim itself) is exempt: there, Advance is the ambient-compute
 // charge by definition.
 //
+// internal/pagestore gets a narrower rule: the package as a whole is not
+// instrumented (the plain Store models free untrusted RAM and charges
+// nothing), but every PagingBackend implementation there must follow the
+// backend contract (see pagestore/backend.go) — so the Evict/Fetch/Drop and
+// batch method bodies, the paths every eviction and page-in runs through,
+// may not contain a naked Clock.Advance either.
+//
 // Exit status is non-zero if any violation is found. Run via `make check`.
 package main
 
@@ -38,39 +45,86 @@ var instrumented = []string{
 	"internal/sched",
 }
 
+// backendDir holds PagingBackend implementations; only the backend method
+// bodies are checked there (the rest of the package is uninstrumented).
+const backendDir = "internal/pagestore"
+
+// backendMethods is the PagingBackend interface surface: the eviction and
+// page-in paths every backend implementation runs through.
+var backendMethods = map[string]bool{
+	"Evict":      true,
+	"Fetch":      true,
+	"Drop":       true,
+	"EvictBatch": true,
+	"FetchBatch": true,
+}
+
+// parseDir loads a package directory, skipping tests.
+func parseDir(fset *token.FileSet, dir string) map[string]*ast.Package {
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "metriclint: %v\n", err)
+		os.Exit(2)
+	}
+	return pkgs
+}
+
+// findAdvance reports every .Advance call site under root.
+func findAdvance(fset *token.FileSet, root ast.Node, report func(pos token.Position)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Advance" {
+			return true
+		}
+		report(fset.Position(call.Pos()))
+		return true
+	})
+}
+
 func main() {
 	violations := 0
 	for _, dir := range instrumented {
 		fset := token.NewFileSet()
-		pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
-			return !strings.HasSuffix(fi.Name(), "_test.go")
-		}, 0)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "metriclint: %v\n", err)
-			os.Exit(2)
-		}
-		for _, pkg := range pkgs {
+		for _, pkg := range parseDir(fset, dir) {
 			for name, file := range pkg.Files {
-				ast.Inspect(file, func(n ast.Node) bool {
-					call, ok := n.(*ast.CallExpr)
-					if !ok {
-						return true
-					}
-					sel, ok := call.Fun.(*ast.SelectorExpr)
-					if !ok || sel.Sel.Name != "Advance" {
-						return true
-					}
-					pos := fset.Position(call.Pos())
-					rel := filepath.ToSlash(name)
+				rel := filepath.ToSlash(name)
+				findAdvance(fset, file, func(pos token.Position) {
 					fmt.Fprintf(os.Stderr,
 						"%s:%d:%d: naked Clock.Advance in instrumented package; use ChargeAs, ChargeAmbient, or a SetCategory scope\n",
 						rel, pos.Line, pos.Column)
 					violations++
-					return true
 				})
 			}
 		}
 	}
+
+	// PagingBackend rule: backend method bodies in internal/pagestore must
+	// attribute every cycle, even though the package as a whole is exempt.
+	fset := token.NewFileSet()
+	for _, pkg := range parseDir(fset, backendDir) {
+		for name, file := range pkg.Files {
+			rel := filepath.ToSlash(name)
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Recv == nil || fn.Body == nil || !backendMethods[fn.Name.Name] {
+					continue
+				}
+				findAdvance(fset, fn.Body, func(pos token.Position) {
+					fmt.Fprintf(os.Stderr,
+						"%s:%d:%d: naked Clock.Advance in PagingBackend.%s; backends must charge via ChargeAs/ChargeAmbient/SetCategory (see pagestore/backend.go)\n",
+						rel, pos.Line, pos.Column, fn.Name.Name)
+					violations++
+				})
+			}
+		}
+	}
+
 	if violations > 0 {
 		fmt.Fprintf(os.Stderr, "metriclint: %d unattributed Advance call(s)\n", violations)
 		os.Exit(1)
