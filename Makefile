@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt metriclint apicheck check bench gobench
+.PHONY: all build test race vet fmt metriclint apicheck chaos fuzz check bench gobench
 
 all: build
 
@@ -45,8 +45,26 @@ metriclint:
 apicheck:
 	$(GO) test -run TestPublicAPISurfaceGolden .
 
+# chaos runs the E12 fault-injection sweep at two worker counts and diffs
+# both against the committed golden table (testdata/e12_chaos.golden) — the
+# repository-level proof that fault injection, recovery and restore are
+# byte-identical at any concurrency. Regenerate the golden after an
+# intentional change with:
+#   go run ./cmd/autarky-bench -exp chaos -jobs 1 > testdata/e12_chaos.golden
+chaos: build
+	$(GO) run ./cmd/autarky-bench -exp chaos -jobs 1 > /tmp/e12_chaos.jobs1
+	$(GO) run ./cmd/autarky-bench -exp chaos -jobs 8 > /tmp/e12_chaos.jobs8
+	diff -u testdata/e12_chaos.golden /tmp/e12_chaos.jobs1
+	diff -u testdata/e12_chaos.golden /tmp/e12_chaos.jobs8
+	@echo "chaos table matches golden at jobs=1 and jobs=8"
+
+# fuzz gives the sealing layer's unseal path a quick adversarial shake; run
+# with a longer -fuzztime locally when touching pagestore crypto.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzUnseal -fuzztime=10s ./internal/pagestore
+
 # check is the CI gate: formatting, static analysis, attribution lint,
-# API-surface freshness, build, and the full test suite under the race
-# detector.
-check: fmt vet metriclint apicheck build race
+# API-surface freshness, build, the full test suite under the race
+# detector, the chaos determinism golden, and a short fuzz pass.
+check: fmt vet metriclint apicheck build race chaos fuzz
 	@echo "all checks passed"

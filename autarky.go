@@ -35,6 +35,7 @@ package autarky
 import (
 	"autarky/internal/cluster"
 	"autarky/internal/core"
+	"autarky/internal/fault"
 	"autarky/internal/hostos"
 	"autarky/internal/libos"
 	"autarky/internal/metrics"
@@ -170,6 +171,10 @@ type machineConfig struct {
 	schedPolicy sched.PolicyKind
 	quantum     uint64
 	backing     *BackingStore
+	faultPlan   *fault.Plan
+	retry       *hostos.RetryPolicy
+	fallback    *BackingStore
+	fallbackSet bool
 }
 
 // withEPCBase places the machine's EPC at a specific physical frame range
@@ -223,14 +228,39 @@ func NewMachine(opts ...Option) *Machine {
 	cpu := sgx.NewCPU(clock, &costs, tlb, pt, epc, reg, cfg.rootSecret)
 	store := pagestore.NewStore()
 	kernel := hostos.NewKernel(cpu, pt, store, clock, &costs)
+	// Backend composition, innermost first: the configured storage stack,
+	// then the fault injector (so every kernel-visible operation is exposed
+	// to it), then the retry layer (which re-rolls transient outages), then
+	// the degraded-mode mirror (which absorbs what retry could not).
 	var backendErr error
-	if cfg.backing != nil {
-		backend, err := buildBacking(cfg.backing, store, clock, costs, 0)
+	backend, err := buildBacking(cfg.backing, store, clock, costs, 0)
+	if err != nil {
+		backendErr = err
+	}
+	if backendErr == nil && cfg.faultPlan != nil {
+		if err := cfg.faultPlan.Validate(); err != nil {
+			backendErr = &ConfigError{Field: "FaultPlan", Reason: err.Error()}
+		} else {
+			backend = fault.NewBackend(backend, *cfg.faultPlan, clock)
+		}
+	}
+	if backendErr == nil && cfg.retry != nil {
+		if err := cfg.retry.Validate(); err != nil {
+			backendErr = &ConfigError{Field: "RetryPolicy", Reason: err.Error()}
+		} else {
+			backend = hostos.NewRetryBackend(backend, *cfg.retry, clock)
+		}
+	}
+	if backendErr == nil && cfg.fallbackSet {
+		secondary, err := buildBacking(cfg.fallback, pagestore.NewStore(), clock, costs, 0)
 		if err != nil {
 			backendErr = err
 		} else {
-			kernel.SetBackend(backend)
+			backend = pagestore.NewFallbackBackend(backend, secondary, clock, costs)
 		}
+	}
+	if backendErr == nil {
+		kernel.SetBackend(backend)
 	}
 	return &Machine{
 		Clock:       clock,

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"autarky/internal/metrics"
 	"autarky/internal/mmu"
@@ -96,6 +97,11 @@ func (r *Runtime) Enclave() *sgx.Enclave { return r.enclave }
 // Progress returns the application's forward-progress counter.
 func (r *Runtime) Progress() uint64 { return r.progress }
 
+// SeedProgress restores the forward-progress counter from a checkpoint, so
+// rate-limit accounting in a restored enclave continues where the
+// checkpointed incarnation left off instead of restarting at zero.
+func (r *Runtime) SeedProgress(n uint64) { r.progress = n }
+
 // AppError returns the error the application finished with, if any.
 func (r *Runtime) AppError() error { return r.appErr }
 
@@ -161,6 +167,10 @@ func (r *Runtime) EnsurePinnedResident() error {
 			want = append(want, pi.va)
 		}
 	}
+	// Ascending address order: map iteration must not decide which page is
+	// fetched at which cycle, or cycle-keyed behavior (fault plans, backend
+	// charges) would vary run to run.
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
 	return r.EnsureResident(want)
 }
 
@@ -298,14 +308,20 @@ func (r *Runtime) handleFault(f mmu.Fault) {
 
 // terminateFetch kills the enclave after a failed page-in, distinguishing a
 // swapped-in page that failed its integrity/freshness check (a tampered,
-// truncated, replayed or mis-keyed blob on either paging path) from other
-// fetch failures.
+// truncated, replayed or mis-keyed blob on either paging path) and a
+// backing store that stayed unavailable through every recovery layer from
+// other fetch failures. The concrete error rides along as the termination
+// cause, so callers can errors.Is/As down to the refined sentinel — and to
+// the failing page's BlobError key — through the TerminationError.
 func (r *Runtime) terminateFetch(err error, prefix string) {
-	if errors.Is(err, pagestore.ErrIntegrity) {
-		r.CPU.Terminate(sgx.TerminateIntegrity, prefix+err.Error())
-		return
+	switch {
+	case errors.Is(err, pagestore.ErrIntegrity):
+		r.CPU.TerminateCause(sgx.TerminateIntegrity, prefix+err.Error(), err)
+	case errors.Is(err, pagestore.ErrUnavailable):
+		r.CPU.TerminateCause(sgx.TerminateUnavailable, prefix+err.Error(), err)
+	default:
+		r.CPU.TerminateCause(sgx.TerminatePolicy, prefix+err.Error(), err)
 	}
-	r.CPU.Terminate(sgx.TerminatePolicy, prefix+err.Error())
 }
 
 func (r *Runtime) detectAttack(detail string) {

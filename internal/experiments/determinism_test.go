@@ -41,6 +41,11 @@ func determinismCases() []struct {
 	e11 := DefaultE11Params()
 	e11.Rounds = 600
 
+	e12 := DefaultE12Params()
+	e12.FaultRates = []float64{0, 0.01}
+	e12.Reps = 2
+	e12.Rounds = 200
+
 	return []struct {
 		name string
 		run  func() *Table
@@ -59,6 +64,7 @@ func determinismCases() []struct {
 		{"E9", func() *Table { return RunE9().Table() }},
 		{"E10", func() *Table { return RunE10(e10).Table() }},
 		{"E11", func() *Table { return RunE11(e11).Table() }},
+		{"E12", func() *Table { return RunE12(e12).Table() }},
 	}
 }
 

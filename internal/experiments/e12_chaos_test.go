@@ -1,0 +1,65 @@
+package experiments
+
+import "testing"
+
+// TestE12RecoveryLadderShape is the experiment's acceptance check: the
+// recovery ladder must actually separate the failure classes. At fault rate
+// zero everything survives untouched; at a clearly hostile rate the
+// unprotected machine shows terminations, while the full
+// retry+fallback+restore stack survives every repetition (with its restores
+// visible and paid for). Surviving checksums are verified against the
+// fault-free reference inside RunE12 itself, so this test transitively
+// proves restored state comes back right.
+func TestE12RecoveryLadderShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full E12 sweep in -short mode")
+	}
+	p := DefaultE12Params()
+	res := RunE12(p)
+
+	rows := map[string]map[float64]E12Row{}
+	for _, row := range res.Rows {
+		if rows[row.Mode] == nil {
+			rows[row.Mode] = map[float64]E12Row{}
+		}
+		rows[row.Mode][row.Rate] = row
+	}
+
+	for _, mode := range e12Modes() {
+		zero := rows[mode.name][0]
+		if zero.Survived != zero.Reps || zero.Terminations != 0 || zero.Injected != 0 {
+			t.Errorf("%s at rate 0: %d/%d survived, %d terms, %d injected (want clean sweep)",
+				mode.name, zero.Survived, zero.Reps, zero.Terminations, zero.Injected)
+		}
+	}
+	for _, rate := range p.FaultRates {
+		if rate == 0 {
+			continue
+		}
+		none := rows["none"][rate]
+		if none.Terminations == 0 {
+			t.Errorf("none at rate %g: no terminations — the fault plan is not biting", rate)
+		}
+		full := rows["retry+fb+restore"][rate]
+		if full.Survived != full.Reps {
+			t.Errorf("retry+fb+restore at rate %g: %d/%d survived, want full survival",
+				rate, full.Survived, full.Reps)
+		}
+		if full.Terminations > 0 && (full.Restores == 0 || full.RestoreCycles == 0) {
+			t.Errorf("retry+fb+restore at rate %g: %d terminations but restores=%d cycles=%d",
+				rate, full.Terminations, full.Restores, full.RestoreCycles)
+		}
+	}
+
+	// The intermediate rungs must be visibly load-bearing somewhere in the
+	// sweep: retries re-issued, give-ups reached, the mirror exercised.
+	var retries, giveups, fallbacks uint64
+	for _, row := range res.Rows {
+		retries += row.Retries
+		giveups += row.Giveups
+		fallbacks += row.Fallbacks
+	}
+	if retries == 0 || giveups == 0 || fallbacks == 0 {
+		t.Errorf("ladder rungs unexercised: retries=%d giveups=%d fallbacks=%d", retries, giveups, fallbacks)
+	}
+}

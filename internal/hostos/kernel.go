@@ -251,6 +251,11 @@ type EnclaveSpec struct {
 	Segments []Segment
 	Quota    int
 	Mech     PagingMech
+	// SeedVersions, when non-nil, pre-loads the enclave's anti-replay
+	// version counters (vpn -> version) immediately after ECREATE, so a
+	// restored enclave continues its previous incarnation's chain. Load-time
+	// evictions then continue from the seeded counters.
+	SeedVersions map[uint64]uint64
 }
 
 // LoadEnclave builds, measures and initializes an enclave per spec:
@@ -263,6 +268,9 @@ func (k *Kernel) LoadEnclave(spec EnclaveSpec) (*Proc, error) {
 		return nil, err
 	}
 	e.Runtime = spec.Runtime
+	if spec.SeedVersions != nil {
+		e.SeedVersions(spec.SeedVersions)
+	}
 	p := &Proc{
 		E:     e,
 		Mech:  spec.Mech,

@@ -2,6 +2,7 @@ package hostos
 
 import (
 	"fmt"
+	"sort"
 
 	"autarky/internal/mmu"
 )
@@ -51,6 +52,9 @@ func (k *Kernel) ResumeEnclave(p *Proc) error {
 			managed = append(managed, ps.va)
 		}
 	}
+	// Ascending address order: page-in order decides the cycle each fetch
+	// lands on, and map iteration must never influence that.
+	sort.Slice(managed, func(i, j int) bool { return managed[i] < managed[j] })
 	for _, va := range managed {
 		ps := p.pages[va.VPN()]
 		if err := k.pageIn(p, ps); err != nil {

@@ -1,0 +1,156 @@
+package libos
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"autarky/internal/core"
+	"autarky/internal/hostos"
+	"autarky/internal/metrics"
+	"autarky/internal/mmu"
+	"autarky/internal/sim"
+)
+
+// This file implements enclave checkpoint/restore on top of the ordinary
+// paging machinery. A checkpoint captures the writable image (data, heap,
+// stack), the application progress counter and the per-page anti-replay
+// versions at a quiescent point (CSSA 0, nothing executing), seals the lot
+// under the platform checkpoint key, and hands the OS an opaque blob.
+// Restore destroys the dead incarnation, rebuilds the enclave from the same
+// image and configuration — yielding a fresh enclave identity and sealing
+// key, so a restart stays detectable exactly as the paper's threat model
+// requires — and replays the captured pages through the normal write path,
+// re-encrypting them under the new incarnation's key. Old blobs are never
+// reused.
+
+// Checkpoint is a sealed, opaque snapshot of an enclave process. The OS can
+// store or transport it but cannot read or undetectably modify it.
+type Checkpoint struct {
+	// Sealed is the authenticated checkpoint blob (see sgx.SealCheckpoint).
+	Sealed []byte
+}
+
+// checkpointPage is one captured writable page.
+type checkpointPage struct {
+	VA   uint64
+	Data []byte
+}
+
+// checkpointPayload is the plaintext the checkpoint seals.
+type checkpointPayload struct {
+	Image       AppImage
+	Config      Config
+	Measurement [32]byte
+	Progress    uint64
+	Versions    map[uint64]uint64
+	Pages       []checkpointPage
+}
+
+// Checkpoint captures the process's state into a sealed blob. The enclave
+// must be alive and not currently executing; capture drives the real access
+// path (faulting evicted pages back in), so a hostile backing store can make
+// a checkpoint attempt fail — the caller keeps its previous checkpoint in
+// that case.
+func (p *Process) Checkpoint() (*Checkpoint, error) {
+	k := p.Kernel
+	if _, in := k.CPU.InEnclave(); in {
+		return nil, fmt.Errorf("libos: checkpoint while the enclave is executing")
+	}
+	if dead, reason, _ := p.Proc.E.Dead(); dead {
+		return nil, fmt.Errorf("libos: checkpoint of dead enclave (%s)", reason)
+	}
+	var pages []checkpointPage
+	err := p.Run(func(ctx *core.Context) {
+		for _, r := range p.writableRegions() {
+			for _, va := range r.PageVAs() {
+				buf := make([]byte, mmu.PageSize)
+				ctx.Read(va, buf)
+				pages = append(pages, checkpointPage{VA: uint64(va), Data: buf})
+			}
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("libos: checkpoint capture: %w", err)
+	}
+	payload := checkpointPayload{
+		Image:       p.Image,
+		Config:      p.cfg,
+		Measurement: p.Proc.E.Measurement(),
+		Progress:    p.Runtime.Progress(),
+		Versions:    p.Proc.E.Versions(),
+		Pages:       pages,
+	}
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return nil, fmt.Errorf("libos: encoding checkpoint: %w", err)
+	}
+	sealed, err := k.CPU.SealCheckpoint(raw)
+	if err != nil {
+		return nil, err
+	}
+	m := metrics.Of(k.Clock)
+	m.Inc(metrics.CntCheckpoints)
+	m.Add(metrics.CntCheckpointPages, uint64(len(pages)))
+	return &Checkpoint{Sealed: sealed}, nil
+}
+
+// writableRegions returns the regions a checkpoint must carry, in ascending
+// address order. Code pages are omitted: the loader regenerates them
+// deterministically and the measurement check proves they match.
+func (p *Process) writableRegions() []Region {
+	var out []Region
+	for _, r := range []Region{p.Data, p.Heap, p.Stack} {
+		if r.Pages > 0 {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Restore rebuilds a process from a sealed checkpoint on the given kernel.
+// The previous incarnation, if still occupying the checkpoint's address
+// range, must be dead; it is torn down first. The restored enclave is a
+// fresh identity loaded from the same image and configuration — Restore
+// verifies the measurement matches the checkpoint before replaying the
+// captured pages and progress counter into it.
+func Restore(k *hostos.Kernel, clock *sim.Clock, costs *sim.Costs, cp *Checkpoint) (*Process, error) {
+	if cp == nil || len(cp.Sealed) == 0 {
+		return nil, fmt.Errorf("libos: restore from empty checkpoint")
+	}
+	raw, err := k.CPU.OpenCheckpoint(cp.Sealed)
+	if err != nil {
+		return nil, err
+	}
+	var payload checkpointPayload
+	if err := json.Unmarshal(raw, &payload); err != nil {
+		return nil, fmt.Errorf("libos: decoding checkpoint: %w", err)
+	}
+	base := payload.Config.Base
+	if base == 0 {
+		base = DefaultBase
+	}
+	if old := k.ProcAt(base); old != nil {
+		if err := k.DestroyEnclave(old); err != nil {
+			return nil, err
+		}
+	}
+	cfg := payload.Config
+	cfg.seedVersions = payload.Versions
+	p, err := Load(k, clock, costs, payload.Image, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if p.Proc.E.Measurement() != payload.Measurement {
+		return nil, fmt.Errorf("libos: restored enclave measurement differs from checkpoint")
+	}
+	err = p.Run(func(ctx *core.Context) {
+		for i := range payload.Pages {
+			ctx.Write(mmu.VAddr(payload.Pages[i].VA), payload.Pages[i].Data)
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("libos: checkpoint replay: %w", err)
+	}
+	p.Runtime.SeedProgress(payload.Progress)
+	return p, nil
+}

@@ -81,6 +81,10 @@ type Config struct {
 	PinData bool
 
 	NSSA int
+
+	// seedVersions carries checkpointed anti-replay counters into the new
+	// incarnation; only Restore sets it.
+	seedVersions map[uint64]uint64
 }
 
 // Process is a loaded enclave application.
@@ -197,6 +201,8 @@ func Load(k *hostos.Kernel, clock *sim.Clock, costs *sim.Costs, img AppImage, cf
 		Segments: segs,
 		Quota:    cfg.QuotaPages,
 		Mech:     hostos.PagingMech(cfg.Mech),
+
+		SeedVersions: cfg.seedVersions,
 	}
 	proc, err := k.LoadEnclave(spec)
 	if err != nil {

@@ -109,6 +109,26 @@ const (
 	CntBackendMisses // blob that had to come from the inner backend
 	CntBackendBytes  // ciphertext bytes moved through a backend, both ways
 
+	// Backend recovery (hostos.RetryBackend, pagestore.FallbackBackend).
+	CntBackendRetries   // backend ops re-issued after ErrUnavailable
+	CntBackendGiveups   // retry budgets exhausted (error surfaced upward)
+	CntBackendFallbacks // ops served by the secondary stack after primary failure
+	CntBackendMirrors   // blobs mirrored into the secondary stack on eviction
+
+	// Fault injection (internal/fault.Backend).
+	CntFaultsInjected // total injected faults, all kinds
+	CntFaultCorrupts  // fetched blob returned with flipped ciphertext bits
+	CntFaultTruncates // fetched blob returned truncated
+	CntFaultReplays   // fetched blob replaced by an archived stale version
+	CntFaultUnavails  // op refused with ErrUnavailable
+	CntFaultDelays    // op delayed by an injected latency spike
+
+	// Checkpoint/restore (libos checkpoint, facade Machine.Restore).
+	CntCheckpoints     // checkpoint blobs sealed
+	CntCheckpointPages // pages captured across all checkpoints
+	CntRestores        // enclaves re-spawned from a checkpoint
+	CntRestoreCycles   // cycles spent inside Machine.Restore
+
 	// NumCounters is the array size, not a counter.
 	NumCounters
 )
@@ -184,6 +204,23 @@ var counterNames = [NumCounters]string{
 	CntBackendHits:   "backend.hits",
 	CntBackendMisses: "backend.misses",
 	CntBackendBytes:  "backend.bytes",
+
+	CntBackendRetries:   "backend.retries",
+	CntBackendGiveups:   "backend.giveups",
+	CntBackendFallbacks: "backend.fallbacks",
+	CntBackendMirrors:   "backend.mirrors",
+
+	CntFaultsInjected: "faultinj.injected",
+	CntFaultCorrupts:  "faultinj.corrupts",
+	CntFaultTruncates: "faultinj.truncates",
+	CntFaultReplays:   "faultinj.replays",
+	CntFaultUnavails:  "faultinj.unavails",
+	CntFaultDelays:    "faultinj.delays",
+
+	CntCheckpoints:     "restore.checkpoints",
+	CntCheckpointPages: "restore.checkpoint_pages",
+	CntRestores:        "restore.restores",
+	CntRestoreCycles:   "restore.cycles",
 }
 
 // Name returns the counter's stable wire name.

@@ -90,13 +90,15 @@ func (st *Store) EvictBatch(enclaveID uint64, pages []PageBlob) error {
 	return nil
 }
 
-// FetchBatch implements PagingBackend.
+// FetchBatch implements PagingBackend. A missing blob is reported with its
+// key attached (BlobError), so the caller knows which page of the batch
+// failed.
 func (st *Store) FetchBatch(enclaveID uint64, pages []mmu.VAddr) ([]Blob, error) {
 	out := make([]Blob, len(pages))
 	for i, va := range pages {
 		b, err := st.Get(enclaveID, va)
 		if err != nil {
-			return nil, err
+			return nil, wrapBlobErr(err, "fetch", enclaveID, va)
 		}
 		out[i] = b
 	}

@@ -1,0 +1,79 @@
+package pagestore
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"autarky/internal/mmu"
+)
+
+func TestBlobErrorCarriesKeyAndUnwraps(t *testing.T) {
+	be := &BlobError{EnclaveID: 7, VA: mmu.VAddr(0x4000), Op: "fetch", Err: ErrNotFound}
+	for _, want := range []string{"fetch", "enclave 7", "0x4000"} {
+		if !strings.Contains(be.Error(), want) {
+			t.Errorf("BlobError message %q missing %q", be.Error(), want)
+		}
+	}
+	if !errors.Is(be, ErrNotFound) {
+		t.Error("BlobError does not unwrap to its cause")
+	}
+	wrapped := fmt.Errorf("driver: paging in: %w", be)
+	var got *BlobError
+	if !errors.As(wrapped, &got) || got.VA != be.VA || got.EnclaveID != be.EnclaveID {
+		t.Errorf("errors.As through wrapping lost the key: %+v", got)
+	}
+}
+
+func TestWrapBlobErrKeepsInnerAttribution(t *testing.T) {
+	if wrapBlobErr(nil, "fetch", 1, mmu.VAddr(0x1000)) != nil {
+		t.Fatal("wrapBlobErr invented an error from nil")
+	}
+	inner := wrapBlobErr(ErrUnavailable, "evict", 3, mmu.VAddr(0x2000))
+	outer := wrapBlobErr(fmt.Errorf("outer layer: %w", inner), "fetch", 9, mmu.VAddr(0x9000))
+	var be *BlobError
+	if !errors.As(outer, &be) {
+		t.Fatal("attribution lost")
+	}
+	// The inner (first, closest-to-the-failure) key must win: outer layers
+	// pass attribution through instead of re-keying it.
+	if be.EnclaveID != 3 || be.VA != mmu.VAddr(0x2000) || be.Op != "evict" {
+		t.Errorf("outer wrap replaced the inner key: %+v", be)
+	}
+}
+
+func TestFetchBatchReportsFailingPage(t *testing.T) {
+	s, err := NewSealer(secret, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewStore()
+	present := []mmu.VAddr{0x1000, 0x2000}
+	for _, va := range present {
+		b, err := s.Seal(va, 1, page(0xAA))
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.Put(1, va, b)
+	}
+	missing := mmu.VAddr(0x3000)
+
+	if _, err := st.FetchBatch(1, present); err != nil {
+		t.Fatalf("batch of present pages failed: %v", err)
+	}
+	_, err = st.FetchBatch(1, []mmu.VAddr{present[0], missing, present[1]})
+	if err == nil {
+		t.Fatal("batch with a missing page succeeded")
+	}
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound class, got %v", err)
+	}
+	var be *BlobError
+	if !errors.As(err, &be) {
+		t.Fatalf("batch error carries no blob key: %v", err)
+	}
+	if be.VA != missing || be.EnclaveID != 1 || be.Op != "fetch" {
+		t.Errorf("batch error names the wrong blob: %+v", be)
+	}
+}

@@ -51,7 +51,45 @@ var (
 	// ErrWrongEnclave: the blob advertises another enclave's identity — it
 	// was sealed under a different key and can never authenticate here.
 	ErrWrongEnclave = fmt.Errorf("%w: blob sealed for a different enclave", ErrIntegrity)
+
+	// ErrUnavailable indicates the backing store transiently refused the
+	// operation (an injected outage, a withheld blob). It is an availability
+	// failure, not an integrity one — it deliberately does not wrap
+	// ErrIntegrity, because the right response is retry/fallback, not
+	// termination-as-compromised.
+	ErrUnavailable = errors.New("pagestore: backing store unavailable")
 )
+
+// BlobError attaches the failing blob's key to an error crossing a batch
+// boundary, so callers of EvictBatch/FetchBatch learn which page in the
+// batch failed rather than just that something did.
+type BlobError struct {
+	EnclaveID uint64
+	VA        mmu.VAddr
+	Op        string // "evict", "fetch", "drop"
+	Err       error
+}
+
+// Error implements error.
+func (e *BlobError) Error() string {
+	return fmt.Sprintf("pagestore: %s enclave %d page %#x: %v", e.Op, e.EnclaveID, uint64(e.VA.PageBase()), e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *BlobError) Unwrap() error { return e.Err }
+
+// wrapBlobErr attaches the key unless the error already carries one (inner
+// layers wrap first; outer layers pass the inner attribution through).
+func wrapBlobErr(err error, op string, enclaveID uint64, va mmu.VAddr) error {
+	if err == nil {
+		return nil
+	}
+	var be *BlobError
+	if errors.As(err, &be) {
+		return err
+	}
+	return &BlobError{EnclaveID: enclaveID, VA: va, Op: op, Err: err}
+}
 
 // Blob is one sealed page as held in untrusted memory.
 type Blob struct {

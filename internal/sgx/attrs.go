@@ -115,6 +115,10 @@ const (
 	// TerminateIntegrity: a swapped-in page failed its
 	// integrity/freshness check.
 	TerminateIntegrity
+	// TerminateUnavailable: the backing store stayed unavailable through
+	// every recovery layer (retries exhausted, no fallback) — the enclave
+	// cannot make progress without its evicted pages.
+	TerminateUnavailable
 	// TerminatePolicy: any other policy-initiated shutdown.
 	TerminatePolicy
 )
@@ -130,6 +134,8 @@ func (r TerminationReason) String() string {
 		return "fault-rate-limit"
 	case TerminateIntegrity:
 		return "integrity-violation"
+	case TerminateUnavailable:
+		return "backing-unavailable"
 	case TerminatePolicy:
 		return "policy"
 	default:
@@ -142,6 +148,12 @@ func (r TerminationReason) String() string {
 type TerminationError struct {
 	Reason TerminationReason
 	Detail string
+	// Cause, when non-nil, is the concrete error that triggered the
+	// termination (a refined unseal failure, a blob-keyed batch error, an
+	// exhausted retry budget). It preserves the full errors.Is chain through
+	// the termination: a replay-induced kill still matches
+	// pagestore.ErrStaleVersion, not just the ErrIntegrity class.
+	Cause error
 }
 
 // Error implements the error interface.
@@ -149,16 +161,23 @@ func (e *TerminationError) Error() string {
 	return "sgx: enclave terminated: " + e.Reason.String() + ": " + e.Detail
 }
 
-// Unwrap maps the termination reason onto the matching condition sentinel,
-// so errors.Is sees through a termination to its cause: a rate-limit
-// termination matches ErrRateLimited (and the aliases of it in core and the
-// facade), an integrity termination matches pagestore.ErrIntegrity.
+// Unwrap exposes the concrete cause when one was recorded; otherwise it
+// maps the termination reason onto the matching condition sentinel. Either
+// way errors.Is sees through a termination: a rate-limit termination
+// matches ErrRateLimited (and the aliases of it in core and the facade), an
+// integrity termination matches pagestore.ErrIntegrity, an availability
+// termination matches pagestore.ErrUnavailable.
 func (e *TerminationError) Unwrap() error {
+	if e.Cause != nil {
+		return e.Cause
+	}
 	switch e.Reason {
 	case TerminateRateLimit:
 		return ErrRateLimited
 	case TerminateIntegrity:
 		return pagestore.ErrIntegrity
+	case TerminateUnavailable:
+		return pagestore.ErrUnavailable
 	default:
 		return nil
 	}

@@ -71,6 +71,8 @@ type CPU struct {
 	// instances are distinguishable across machines/reboots (§3 restart
 	// detection).
 	instanceSalt uint64
+	// checkpointSeq numbers sealed checkpoints for nonce uniqueness.
+	checkpointSeq uint64
 
 	cur    *Enclave
 	curTCS *TCS
@@ -166,12 +168,19 @@ type terminationUnwind struct{ err *TerminationError }
 // rate limit exceeded, integrity violation). It must be called in enclave
 // mode; it unwinds the simulated enclave execution.
 func (c *CPU) Terminate(reason TerminationReason, detail string) {
+	c.TerminateCause(reason, detail, nil)
+}
+
+// TerminateCause is Terminate with the concrete triggering error attached,
+// so the TerminationError the outermost EEnter returns (and every later
+// entry attempt re-returns) unwraps to the real cause chain.
+func (c *CPU) TerminateCause(reason TerminationReason, detail string, cause error) {
 	e, ok := c.InEnclave()
 	if !ok {
 		panic("sgx: Terminate outside enclave mode")
 	}
-	e.terminate(reason, detail)
-	panic(terminationUnwind{&TerminationError{Reason: reason, Detail: detail}})
+	e.terminateCause(reason, detail, cause)
+	panic(terminationUnwind{e.terminationError()})
 }
 
 // EEnter enters the enclave through its attested entry point and runs the
@@ -185,8 +194,8 @@ func (c *CPU) EEnter(e *Enclave, tcs *TCS) (err error) {
 	if c.cur != nil {
 		return fmt.Errorf("%w: EENTER while in enclave mode", ErrOutsideEnclave)
 	}
-	if dead, reason, detail := e.Dead(); dead {
-		return &TerminationError{Reason: reason, Detail: detail}
+	if e.dead {
+		return e.terminationError()
 	}
 	if !e.initialized {
 		return ErrNotInitialized
@@ -241,8 +250,8 @@ func (c *CPU) ERESUME(e *Enclave, tcs *TCS) error {
 	if c.cur != nil {
 		return fmt.Errorf("%w: ERESUME while in enclave mode", ErrOutsideEnclave)
 	}
-	if dead, reason, detail := e.Dead(); dead {
-		return &TerminationError{Reason: reason, Detail: detail}
+	if e.dead {
+		return e.terminationError()
 	}
 	if tcs.pendingException {
 		c.Stats.ResumeDenied++

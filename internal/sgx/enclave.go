@@ -38,6 +38,7 @@ type Enclave struct {
 	dead        bool
 	deadReason  TerminationReason
 	deadDetail  string
+	deadCause   error
 
 	measuring   [32]byte // running measurement state (chained hashes)
 	measurement [32]byte // final after EINIT
@@ -73,6 +74,16 @@ func (e *Enclave) Dead() (bool, TerminationReason, string) {
 	return e.dead, e.deadReason, e.deadDetail
 }
 
+// DeadCause returns the concrete error behind the termination, when the
+// runtime recorded one (nil otherwise, and for live enclaves).
+func (e *Enclave) DeadCause() error { return e.deadCause }
+
+// terminationError builds the error a dead enclave returns on every entry
+// attempt, preserving the recorded cause chain.
+func (e *Enclave) terminationError() *TerminationError {
+	return &TerminationError{Reason: e.deadReason, Detail: e.deadDetail, Cause: e.deadCause}
+}
+
 // Measurement returns the enclave's MRENCLAVE-like identity. It is only
 // valid after EINIT.
 func (e *Enclave) Measurement() [32]byte { return e.measurement }
@@ -82,6 +93,32 @@ func (e *Enclave) TCS(id uint64) *TCS { return e.tcss[id] }
 
 // Version returns the current anti-replay version for a page.
 func (e *Enclave) Version(va mmu.VAddr) uint64 { return e.versions[va.VPN()] }
+
+// Versions returns a copy of every per-page anti-replay counter
+// (vpn -> version), the state a checkpoint must carry so the restored
+// incarnation's chain stays monotonic.
+func (e *Enclave) Versions() map[uint64]uint64 {
+	out := make(map[uint64]uint64, len(e.versions))
+	for vpn, v := range e.versions {
+		out[vpn] = v
+	}
+	return out
+}
+
+// SeedVersions pre-loads the per-page anti-replay counters from a trusted
+// checkpoint, so a restored enclave continues the version chain of its
+// previous incarnation instead of restarting at zero. Only permitted before
+// any page of the new incarnation has been evicted — seeding after that
+// would break the monotonicity that gives the counters their anti-replay
+// power.
+func (e *Enclave) SeedVersions(versions map[uint64]uint64) {
+	if len(e.versions) != 0 {
+		panic("sgx: SeedVersions after eviction activity")
+	}
+	for vpn, v := range versions {
+		e.versions[vpn] = v
+	}
+}
 
 // SelfPaging reports whether the Autarky attribute is set.
 func (e *Enclave) SelfPaging() bool { return e.Attrs.Has(AttrSelfPaging) }
@@ -97,12 +134,19 @@ func (e *Enclave) extendMeasurement(tag string, data []byte) {
 // Terminate marks the enclave dead. Only the trusted runtime (via
 // CPU.Terminate) and EINIT-failure paths use it.
 func (e *Enclave) terminate(reason TerminationReason, detail string) {
+	e.terminateCause(reason, detail, nil)
+}
+
+// terminateCause marks the enclave dead, recording the concrete error that
+// triggered the shutdown so later entry attempts surface the full chain.
+func (e *Enclave) terminateCause(reason TerminationReason, detail string, cause error) {
 	if e.dead {
 		return
 	}
 	e.dead = true
 	e.deadReason = reason
 	e.deadDetail = detail
+	e.deadCause = cause
 }
 
 // ECREATE creates an enclave covering [base, base+size) with the given

@@ -21,6 +21,11 @@
 // batch method bodies, the paths every eviction and page-in runs through,
 // may not contain a naked Clock.Advance either.
 //
+// internal/fault gets both the instrumented rule and a determinism rule:
+// fault plans roll every injection from (seed, clock cycle, operation), so
+// the package may not import the wall clock ("time") or the process PRNG
+// ("math/rand"); either would break byte-identical replay of a chaos run.
+//
 // Exit status is non-zero if any violation is found. Run via `make check`.
 package main
 
@@ -43,6 +48,24 @@ var instrumented = []string{
 	"internal/hostos",
 	"internal/oram",
 	"internal/sched",
+	"internal/fault",
+}
+
+// deterministic lists the packages whose behavior must be a pure function
+// of the simulated clock and their seeds: fault plans roll injections from
+// (seed, cycle, enclave, page), so any wall-clock or process-PRNG use would
+// silently break run-to-run reproducibility. Importing time or math/rand
+// there is rejected outright.
+var deterministic = []string{
+	"internal/fault",
+}
+
+// forbiddenImports are the nondeterminism sources banned in deterministic
+// packages.
+var forbiddenImports = map[string]string{
+	"time":         "wall clock",
+	"math/rand":    "process-global PRNG",
+	"math/rand/v2": "process-global PRNG",
 }
 
 // backendDir holds PagingBackend implementations; only the backend method
@@ -100,6 +123,27 @@ func main() {
 						rel, pos.Line, pos.Column)
 					violations++
 				})
+			}
+		}
+	}
+
+	// Determinism rule: fault plans must draw every decision from the
+	// simulated clock and their seed, never from the host.
+	for _, dir := range deterministic {
+		fset := token.NewFileSet()
+		for _, pkg := range parseDir(fset, dir) {
+			for name, file := range pkg.Files {
+				rel := filepath.ToSlash(name)
+				for _, imp := range file.Imports {
+					path := strings.Trim(imp.Path.Value, `"`)
+					if why, bad := forbiddenImports[path]; bad {
+						pos := fset.Position(imp.Pos())
+						fmt.Fprintf(os.Stderr,
+							"%s:%d:%d: import %q (%s) in deterministic package; decisions must be pure functions of (seed, clock, operation)\n",
+							rel, pos.Line, pos.Column, path, why)
+						violations++
+					}
+				}
 			}
 		}
 	}
