@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt metriclint apicheck chaos fuzz check bench gobench
+.PHONY: all build test race vet fmt metriclint apicheck chaos orderly fuzz cover check bench gobench
 
 all: build
 
@@ -58,13 +58,44 @@ chaos: build
 	diff -u testdata/e12_chaos.golden /tmp/e12_chaos.jobs8
 	@echo "chaos table matches golden at jobs=1 and jobs=8"
 
-# fuzz gives the sealing layer's unseal path a quick adversarial shake; run
-# with a longer -fuzztime locally when touching pagestore crypto.
+# orderly runs the E13 model-checking exploration at two worker counts and
+# diffs both against the committed golden table — the repository-level proof
+# that the exhaustive interleaving enumeration (and its per-scenario trace
+# digests) is byte-identical at any concurrency. Regenerate after an
+# intentional spec or lifecycle change with:
+#   go run ./cmd/autarky-bench -exp orderliness -jobs 1 > testdata/e13_orderliness.golden
+orderly: build
+	$(GO) run ./cmd/autarky-bench -exp orderliness -jobs 1 > /tmp/e13_orderliness.jobs1
+	$(GO) run ./cmd/autarky-bench -exp orderliness -jobs 8 > /tmp/e13_orderliness.jobs8
+	diff -u testdata/e13_orderliness.golden /tmp/e13_orderliness.jobs1
+	diff -u testdata/e13_orderliness.golden /tmp/e13_orderliness.jobs8
+	@echo "orderliness table matches golden at jobs=1 and jobs=8"
+
+# fuzz gives the adversarial decode paths a quick shake: sealed-blob
+# authentication (pagestore) and checkpoint restore (libos). Run with a
+# longer -fuzztime locally when touching either.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzUnseal -fuzztime=10s ./internal/pagestore
+	$(GO) test -run='^$$' -fuzz=FuzzRestore -fuzztime=10s ./internal/libos
+
+# cover enforces the committed per-package statement-coverage floors
+# (testdata/coverage_floors.txt). Raise a floor when tests improve; never
+# lower one to get a change in.
+cover:
+	@fail=0; while read -r pkg floor; do \
+		[ -z "$$pkg" ] && continue; \
+		pct=$$($(GO) test -cover ./$$pkg | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
+		if [ -z "$$pct" ]; then echo "cover: no coverage output for $$pkg"; fail=1; continue; fi; \
+		if awk -v p="$$pct" -v f="$$floor" 'BEGIN{exit !(p>=f)}'; then \
+			echo "cover: $$pkg $$pct% >= $$floor%"; \
+		else \
+			echo "cover: $$pkg at $$pct%, below the committed floor $$floor%"; fail=1; \
+		fi; \
+	done < testdata/coverage_floors.txt; exit $$fail
 
 # check is the CI gate: formatting, static analysis, attribution lint,
 # API-surface freshness, build, the full test suite under the race
-# detector, the chaos determinism golden, and a short fuzz pass.
-check: fmt vet metriclint apicheck build race chaos fuzz
+# detector, the chaos and orderliness determinism goldens, the coverage
+# floors, and a short fuzz pass.
+check: fmt vet metriclint apicheck build race chaos orderly cover fuzz
 	@echo "all checks passed"

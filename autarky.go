@@ -114,6 +114,19 @@ var (
 	ErrQuotaExceeded = libos.ErrQuotaExceeded
 	// ErrBadConfig is the class of Config.Validate rejections.
 	ErrBadConfig = libos.ErrBadConfig
+	// ErrNotLoaded marks kernel services invoked with a stale enclave
+	// handle: never loaded, or already destroyed. The orderliness checker
+	// (internal/orderly) asserts it on every out-of-order lifecycle call.
+	ErrNotLoaded = hostos.ErrNotLoaded
+	// ErrSuspended marks an attempt to run (or double-suspend) an enclave
+	// the kernel has swapped out wholesale (§5.2.1).
+	ErrSuspended = hostos.ErrSuspended
+	// ErrNotSuspended marks a resume of an enclave that is not swapped out.
+	ErrNotSuspended = hostos.ErrNotSuspended
+	// ErrEnclaveLive marks a teardown (or checkpoint-restore reusing the
+	// address range) of an enclave whose trusted runtime has not
+	// terminated — destroying it would be an undetectable restart (§3).
+	ErrEnclaveLive = hostos.ErrEnclaveLive
 )
 
 // Policy kinds for Config.Policy.
@@ -260,7 +273,9 @@ func NewMachine(opts ...Option) *Machine {
 		}
 	}
 	if backendErr == nil {
-		kernel.SetBackend(backend)
+		// The kernel is freshly built and hosts no enclaves, so the install
+		// cannot be refused; a non-nil error here is a wiring bug.
+		backendErr = kernel.SetBackend(backend)
 	}
 	return &Machine{
 		Clock:       clock,

@@ -11,6 +11,7 @@ package main
 import (
 	"fmt"
 	"os"
+	"strings"
 
 	"autarky/internal/experiments"
 )
@@ -25,6 +26,10 @@ func main() {
 	fmt.Println("  3. FreeType text recovery via execute-permission traps")
 	fmt.Println("  4. libjpeg image recovery via IDCT fault counting")
 	fmt.Println("  5. Hunspell recovery via the silent A/D-bit monitor (Wang et al. 2017)")
+	fmt.Println("plus the lifecycle-ordering attacks from the orderliness model checker:")
+	fmt.Println("  6. suspend > tamper > resume (state substitution across a whole-enclave swap)")
+	fmt.Println("  7. suspend > tamper pinned page > resume (the same, against self-paged state)")
+	fmt.Println("  8. stale-blob rollback (replaying an old sealed page version)")
 
 	res := experiments.RunE7()
 	res.Table().Fprint(os.Stdout)
@@ -32,11 +37,20 @@ func main() {
 	fmt.Println()
 	ok := true
 	for _, s := range res.Scenarios {
-		if s.VanillaRecovery < 0.5 {
+		// Negative vanilla recovery marks "n/a": the attack has no vanilla
+		// analogue (hardware version arrays stop it even there).
+		if s.VanillaRecovery >= 0 && s.VanillaRecovery < 0.5 {
 			fmt.Printf("UNEXPECTED: %s recovered only %.0f%% on vanilla SGX\n", s.Name, s.VanillaRecovery*100)
 			ok = false
 		}
-		if !s.AutarkyTerminated || s.AutarkyRecovery > 0 {
+		stopped := s.AutarkyTerminated
+		if s.AutarkyOutcome != "" {
+			// Ordering attacks are judged by the checker's verdict: a refusal
+			// (the illegal reordering never executed) stops the attack just as
+			// surely as a termination.
+			stopped = !strings.HasPrefix(s.AutarkyOutcome, "UNDETECTED")
+		}
+		if !stopped || s.AutarkyRecovery > 0 {
 			fmt.Printf("UNEXPECTED: %s not stopped by Autarky\n", s.Name)
 			ok = false
 		}

@@ -69,12 +69,22 @@ func TestSuspendWithoutResumeIsDetected(t *testing.T) {
 	if _, err := m.Kernel.SuspendEnclave(p.Proc); err != nil {
 		t.Fatal(err)
 	}
-	// The OS "forgets" to restore and runs the enclave anyway: the first
-	// access to a pinned page is an induced fault.
+	// The OS "forgets" to restore and runs the enclave anyway. The kernel's
+	// own API refuses the ordering outright...
 	err = p.Run(func(ctx *Context) {
+		t.Error("kernel entered a suspended enclave")
+	})
+	if !errors.Is(err, ErrSuspended) {
+		t.Fatalf("run while suspended: %v, want ErrSuspended", err)
+	}
+	// ...so a hostile OS bypasses it and enters the enclave directly: the
+	// first access to a pinned page is an induced fault, and the trusted
+	// runtime detects the contract violation on its own.
+	p.Runtime.App = func(ctx *Context) {
 		ctx.Load(p.Heap.Page(0))
 		t.Error("access succeeded on a swapped-out pinned page")
-	})
+	}
+	err = m.Kernel.CPU.EEnter(p.Proc.E, p.Proc.TCS)
 	var term *TerminationError
 	if !errors.As(err, &term) || term.Reason != sgx.TerminateAttackDetected {
 		t.Fatalf("contract violation not detected: %v", err)

@@ -46,6 +46,9 @@ func determinismCases() []struct {
 	e12.Reps = 2
 	e12.Rounds = 200
 
+	e13 := DefaultE13Params()
+	e13.MaxDepth = 5
+
 	return []struct {
 		name string
 		run  func() *Table
@@ -65,6 +68,7 @@ func determinismCases() []struct {
 		{"E10", func() *Table { return RunE10(e10).Table() }},
 		{"E11", func() *Table { return RunE11(e11).Table() }},
 		{"E12", func() *Table { return RunE12(e12).Table() }},
+		{"E13", func() *Table { return RunE13(e13).Table() }},
 	}
 }
 

@@ -25,17 +25,25 @@ import (
 //     working buffer
 //   - Hunspell access recovery via the silent A/D-bit monitor
 //     (Wang et al.), which induces no faults at all on vanilla SGX
+//
+// plus the ordering attacks (e7_orderings.go): lifecycle interleavings
+// written in the model checker's trace format and executed through
+// internal/orderly, pairing each legacy outcome with Autarky's.
 
 // E7Scenario is one attack outcome pair.
 type E7Scenario struct {
 	Name string
-	// Vanilla results.
+	// Vanilla results. A negative recovery renders as "n/a" — the legacy
+	// machine cannot express the attack at all.
 	VanillaRecovery float64 // fraction of the secret recovered
 	VanillaDetected bool    // vanilla never detects
 	// Autarky results.
 	AutarkyRecovery   float64
 	AutarkyTerminated bool
 	AutarkyReason     sgx.TerminationReason
+	// AutarkyOutcome, when set, overrides the rendered outcome column
+	// (the ordering attacks report refusal phases, not just termination).
+	AutarkyOutcome string
 	// MaskedOnly reports that every fault the OS observed under Autarky
 	// carried only the enclave base address (the §5.1.2 guarantee).
 	MaskedOnly bool
@@ -56,6 +64,12 @@ func RunE7() E7Result {
 		runE7FreeType,
 		runE7JPEG,
 		runE7ADBits,
+	}
+	for _, o := range e7Orderings() {
+		o := o
+		scenarios = append(scenarios, func(rec *cellRecorder) E7Scenario {
+			return runE7Ordering(rec, o)
+		})
 	}
 	out, cm := runCells("E7", len(scenarios), func(i int, rec *cellRecorder) E7Scenario {
 		return scenarios[i](rec)
@@ -492,8 +506,15 @@ func (r E7Result) Table() *Table {
 		if s.AutarkyTerminated {
 			outcome = "TERMINATED (" + s.AutarkyReason.String() + ")"
 		}
+		if s.AutarkyOutcome != "" {
+			outcome = s.AutarkyOutcome
+		}
+		vanilla := fmt.Sprintf("%.0f%%", s.VanillaRecovery*100)
+		if s.VanillaRecovery < 0 {
+			vanilla = "n/a"
+		}
 		t.AddRow(s.Name,
-			fmt.Sprintf("%.0f%%", s.VanillaRecovery*100),
+			vanilla,
 			fmt.Sprintf("%.0f%%", s.AutarkyRecovery*100),
 			outcome,
 			fmt.Sprintf("%v", s.MaskedOnly))

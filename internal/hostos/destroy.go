@@ -29,9 +29,16 @@ func (k *Kernel) DestroyEnclave(p *Proc) error {
 	if _, in := k.CPU.InEnclave(); in {
 		return fmt.Errorf("hostos: cannot destroy an enclave while one is running")
 	}
+	// A second destroy of the same handle finds the registration gone and
+	// fails with ErrNotLoaded — it must never silently succeed, or callers
+	// would keep using a handle the kernel already forgot.
+	p, err := k.proc(p)
+	if err != nil {
+		return err
+	}
 	dead, _, _ := p.E.Dead()
 	if !dead {
-		return fmt.Errorf("hostos: DestroyEnclave of live enclave %d (terminate it first)", p.E.ID)
+		return fmt.Errorf("%w: enclave %d", ErrEnclaveLive, p.E.ID)
 	}
 	for _, va := range p.PageVAs() {
 		ps := p.pages[va.VPN()]

@@ -44,7 +44,10 @@ func (k *Kernel) page(p *Proc, va mmu.VAddr) (*pageState, error) {
 // evictable at the kernel's discretion (ay_set_os_managed).
 func (k *Kernel) SetOSManaged(e *sgx.Enclave, pages []mmu.VAddr) error {
 	k.chargeCall()
-	p := k.procs[e.ID]
+	p, err := k.procFor(e)
+	if err != nil {
+		return err
+	}
 	return k.CPU.AsHost(func() error {
 		for _, va := range pages {
 			ps, err := k.page(p, va)
@@ -62,7 +65,10 @@ func (k *Kernel) SetOSManaged(e *sgx.Enclave, pages []mmu.VAddr) error {
 // (ay_set_enclave_managed).
 func (k *Kernel) SetEnclaveManaged(e *sgx.Enclave, pages []mmu.VAddr) ([]core.PageStatus, error) {
 	k.chargeCall()
-	p := k.procs[e.ID]
+	p, perr := k.procFor(e)
+	if perr != nil {
+		return nil, perr
+	}
 	out := make([]core.PageStatus, 0, len(pages))
 	err := k.CPU.AsHost(func() error {
 		for _, va := range pages {
@@ -83,7 +89,10 @@ func (k *Kernel) SetEnclaveManaged(e *sgx.Enclave, pages []mmu.VAddr) ([]core.Pa
 
 // Quota reports the enclave's resident-page limit and current residency.
 func (k *Kernel) Quota(e *sgx.Enclave) (limit, resident int) {
-	p := k.procs[e.ID]
+	p, err := k.procFor(e)
+	if err != nil {
+		return 0, 0
+	}
 	return p.Quota, p.resident
 }
 
@@ -94,7 +103,10 @@ func (k *Kernel) Quota(e *sgx.Enclave) (limit, resident int) {
 // and the runtime must ay_evict_pages first.
 func (k *Kernel) FetchPages(e *sgx.Enclave, pages []mmu.VAddr) error {
 	k.chargeCall()
-	p := k.procs[e.ID]
+	p, err := k.procFor(e)
+	if err != nil {
+		return err
+	}
 	return k.CPU.AsHost(func() error {
 		for _, va := range pages {
 			ps, err := k.page(p, va)
@@ -122,7 +134,10 @@ func (k *Kernel) FetchPages(e *sgx.Enclave, pages []mmu.VAddr) error {
 // the SGXv1 path (ay_evict_pages). Batched like FetchPages.
 func (k *Kernel) EvictPages(e *sgx.Enclave, pages []mmu.VAddr) error {
 	k.chargeCall()
-	p := k.procs[e.ID]
+	p, err := k.procFor(e)
+	if err != nil {
+		return err
+	}
 	return k.CPU.AsHost(func() error {
 		// Block and unmap all pages, then one ETRACK+shootdown round, then
 		// write them back — the batched dance the Intel driver uses.
@@ -173,9 +188,12 @@ func (k *Kernel) EvictPages(e *sgx.Enclave, pages []mmu.VAddr) error {
 // EACCEPTCOPY each before use. Quota applies.
 func (k *Kernel) AugPages(e *sgx.Enclave, pages []mmu.VAddr, perms []mmu.Perms) ([]mmu.PFN, error) {
 	k.chargeCall()
-	p := k.procs[e.ID]
+	p, err := k.procFor(e)
+	if err != nil {
+		return nil, err
+	}
 	pfns := make([]mmu.PFN, 0, len(pages))
-	err := k.CPU.AsHost(func() error {
+	err = k.CPU.AsHost(func() error {
 		for i, va := range pages {
 			if err := k.ensureQuota(p, 1); err != nil {
 				return err
@@ -274,9 +292,12 @@ func (d driverBackend) FetchBatch(enclaveID uint64, pages []mmu.VAddr) ([]pagest
 // can EACCEPT. First step of SGXv2 software eviction.
 func (k *Kernel) RestrictPerms(e *sgx.Enclave, va mmu.VAddr, perms mmu.Perms) (mmu.PFN, error) {
 	k.chargeCall()
-	p := k.procs[e.ID]
+	p, err := k.procFor(e)
+	if err != nil {
+		return mmu.NoPFN, err
+	}
 	var pfn mmu.PFN
-	err := k.CPU.AsHost(func() error {
+	err = k.CPU.AsHost(func() error {
 		ps, err := k.page(p, va)
 		if err != nil {
 			return err
@@ -302,9 +323,12 @@ func (k *Kernel) RestrictPerms(e *sgx.Enclave, va mmu.VAddr, perms mmu.Perms) (m
 // EACCEPT; the runtime then calls RemovePage.
 func (k *Kernel) TrimPage(e *sgx.Enclave, va mmu.VAddr) (mmu.PFN, error) {
 	k.chargeCall()
-	p := k.procs[e.ID]
+	p, err := k.procFor(e)
+	if err != nil {
+		return mmu.NoPFN, err
+	}
 	var pfn mmu.PFN
-	err := k.CPU.AsHost(func() error {
+	err = k.CPU.AsHost(func() error {
 		ps, err := k.page(p, va)
 		if err != nil {
 			return err
@@ -328,7 +352,10 @@ func (k *Kernel) TrimPage(e *sgx.Enclave, va mmu.VAddr) (mmu.PFN, error) {
 // quota slot. Final step of SGXv2 software eviction.
 func (k *Kernel) RemovePage(e *sgx.Enclave, va mmu.VAddr) error {
 	k.chargeCall()
-	p := k.procs[e.ID]
+	p, err := k.procFor(e)
+	if err != nil {
+		return err
+	}
 	return k.CPU.AsHost(func() error {
 		ps, err := k.page(p, va)
 		if err != nil {

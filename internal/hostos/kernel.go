@@ -10,8 +10,10 @@
 package hostos
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/fnv"
 
 	"autarky/internal/core"
 	"autarky/internal/metrics"
@@ -61,6 +63,27 @@ var (
 	ErrPinned = errors.New("hostos: page is enclave-managed (pinned)")
 	// ErrUnknownPage is returned for pages never added to the enclave.
 	ErrUnknownPage = errors.New("hostos: page not part of enclave")
+	// ErrNotLoaded is returned when a kernel service is invoked for an
+	// enclave that is not in the kernel's tables: a Proc that was never
+	// produced by LoadEnclave, or one whose enclave has been destroyed.
+	// Every lifecycle entry point checks it, so a stale handle surfaces a
+	// sentinel instead of dereferencing freed bookkeeping.
+	ErrNotLoaded = errors.New("hostos: enclave not loaded")
+	// ErrSuspended is returned when running a swapped-out enclave; the
+	// kernel must ResumeEnclave first (§5.2.1: suspended enclaves are
+	// non-runnable by contract).
+	ErrSuspended = errors.New("hostos: enclave is suspended")
+	// ErrNotSuspended is returned by ResumeEnclave for an enclave that is
+	// not swapped out.
+	ErrNotSuspended = errors.New("hostos: enclave not suspended")
+	// ErrEnclaveLive is returned by DestroyEnclave for an enclave whose
+	// trusted runtime has not terminated: teardown of a live enclave would
+	// be an undetectable restart, which the threat model forbids (§3).
+	ErrEnclaveLive = errors.New("hostos: enclave is alive (terminate it first)")
+	// ErrEnclavesLoaded is returned by SetBackend once any enclave is
+	// loaded: swapping the storage stack with sealed blobs outstanding
+	// would strand them in the old stack.
+	ErrEnclavesLoaded = errors.New("hostos: backend swap with enclaves loaded")
 )
 
 // Adversary hooks into the kernel's fault and timer paths. A benign kernel
@@ -146,6 +169,49 @@ func (p *Proc) Page(va mmu.VAddr) (resident, enclaveManaged bool, ok bool) {
 	return ps.resident, ps.enclaveManaged, true
 }
 
+// ResidencyFingerprint folds the kernel's entire paging state for the
+// process into one FNV-1a hash: per-page residency/management bits in
+// ascending address order, the victim queue (order and hand position), and
+// the suspended flag. Two processes with equal fingerprints are
+// indistinguishable to every future paging decision the kernel makes for
+// them, which is what lets the orderliness checker use the fingerprint as a
+// canonical state digest and the regression tests assert replacement
+// determinism without reaching into private fields.
+func (p *Proc) ResidencyFingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	word := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	for _, va := range p.PageVAs() {
+		ps := p.pages[va.VPN()]
+		var bits uint64
+		if ps.resident {
+			bits |= 1
+		}
+		if ps.enclaveManaged {
+			bits |= 2
+		}
+		if ps.everEvicted {
+			bits |= 4
+		}
+		word(uint64(va))
+		word(bits)
+	}
+	word(^uint64(0)) // separator: page list from victim queue
+	for _, vpn := range p.order {
+		word(vpn)
+	}
+	word(uint64(p.hand))
+	if p.suspended {
+		word(1)
+	} else {
+		word(0)
+	}
+	return h.Sum64()
+}
+
 // PageVAs returns all page addresses of the enclave in ascending order of
 // first registration.
 func (p *Proc) PageVAs() []mmu.VAddr {
@@ -223,15 +289,48 @@ func NewKernel(cpu *sgx.CPU, pt *mmu.PageTable, store *pagestore.Store, clock *s
 }
 
 // SetBackend installs a paging-backend stack (cache, ORAM, ...) in front of
-// the plain store. Call it before any enclave is loaded: switching backends
-// with blobs outstanding would strand them in the old stack.
-func (k *Kernel) SetBackend(b pagestore.PagingBackend) { k.backend = b }
+// the plain store. It must run before any enclave is loaded: switching
+// backends with blobs outstanding would strand them in the old stack, so
+// the call fails with ErrEnclavesLoaded once the kernel hosts a process.
+func (k *Kernel) SetBackend(b pagestore.PagingBackend) error {
+	if len(k.procList) > 0 {
+		return fmt.Errorf("%w: %d enclave(s) resident", ErrEnclavesLoaded, len(k.procList))
+	}
+	k.backend = b
+	return nil
+}
 
 // Backend returns the installed paging-backend stack.
 func (k *Kernel) Backend() pagestore.PagingBackend { return k.backend }
 
 // Proc returns the process state for an enclave.
 func (k *Kernel) Proc(e *sgx.Enclave) *Proc { return k.procs[e.ID] }
+
+// proc resolves the kernel's registration for a Proc handle. A handle that
+// was never registered — or whose enclave has been destroyed — yields
+// ErrNotLoaded instead of a nil dereference deeper in the service.
+func (k *Kernel) proc(p *Proc) (*Proc, error) {
+	if p == nil || p.E == nil {
+		return nil, fmt.Errorf("%w: nil process handle", ErrNotLoaded)
+	}
+	if got := k.procs[p.E.ID]; got != p {
+		return nil, fmt.Errorf("%w: enclave %d", ErrNotLoaded, p.E.ID)
+	}
+	return p, nil
+}
+
+// procFor resolves the kernel's registration for an enclave (the driver
+// entry points are keyed by *sgx.Enclave, not *Proc).
+func (k *Kernel) procFor(e *sgx.Enclave) (*Proc, error) {
+	if e == nil {
+		return nil, fmt.Errorf("%w: nil enclave", ErrNotLoaded)
+	}
+	p := k.procs[e.ID]
+	if p == nil {
+		return nil, fmt.Errorf("%w: enclave %d", ErrNotLoaded, e.ID)
+	}
+	return p, nil
+}
 
 // Segment is one loadable region of an enclave image.
 type Segment struct {
@@ -343,8 +442,16 @@ func (k *Kernel) mapPage(p *Proc, ps *pageState) {
 }
 
 // Run enters the enclave on its TCS and executes the trusted runtime until
-// it returns (or the enclave terminates).
+// it returns (or the enclave terminates). Stale handles (never loaded, or
+// destroyed) fail with ErrNotLoaded; swapped-out enclaves with ErrSuspended.
 func (k *Kernel) Run(p *Proc) error {
+	p, err := k.proc(p)
+	if err != nil {
+		return err
+	}
+	if p.suspended {
+		return fmt.Errorf("%w: enclave %d", ErrSuspended, p.E.ID)
+	}
 	return k.CPU.EEnter(p.E, p.TCS)
 }
 
@@ -368,7 +475,12 @@ func (k *Kernel) HandlePageFault(c *sgx.CPU, e *sgx.Enclave, tcs *sgx.TCS, f *mm
 
 	// Enclave-region fault.
 	k.Stats.EnclaveFaults++
-	p := k.procs[e.ID]
+	p, perr := k.procFor(e)
+	if perr != nil {
+		// A fault attributed to a destroyed enclave: nothing to service, and
+		// no proc state to consult — surface the sentinel, never a nil deref.
+		return perr
+	}
 	k.FaultLog.Add(trace.Event{Cycle: k.Clock.Cycles(), Addr: f.Addr, Type: f.Type, Kind: trace.KindFault})
 
 	handled := k.Adversary.OnEnclaveFault(k, p, f)
@@ -409,11 +521,13 @@ func (k *Kernel) HandleTimer(c *sgx.CPU, e *sgx.Enclave, tcs *sgx.TCS) error {
 	k.Stats.TimerTicks++
 	k.m.Inc(metrics.CntTimerTicks)
 	k.Clock.ChargeAmbient(k.Costs.OSFaultWork)
-	if p := k.procs[e.ID]; p != nil {
-		k.Adversary.OnTimer(k, p)
-		if k.Preemptor != nil {
-			k.Preemptor.OnPreempt(k, p)
-		}
+	p, perr := k.procFor(e)
+	if perr != nil {
+		return perr
+	}
+	k.Adversary.OnTimer(k, p)
+	if k.Preemptor != nil {
+		k.Preemptor.OnPreempt(k, p)
 	}
 	return c.ERESUME(e, tcs)
 }

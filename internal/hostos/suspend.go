@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"autarky/internal/mmu"
+	"autarky/internal/sgx"
 )
 
 // This file implements the kernel's last-resort memory-pressure option from
@@ -17,11 +18,18 @@ import (
 // resident pages — including enclave-managed ones, which is legal only in
 // this state — returning the number of pages swapped out.
 func (k *Kernel) SuspendEnclave(p *Proc) (int, error) {
+	p, err := k.proc(p)
+	if err != nil {
+		return 0, err
+	}
 	if p.suspended {
-		return 0, fmt.Errorf("hostos: enclave %d already suspended", p.E.ID)
+		return 0, fmt.Errorf("%w: enclave %d already suspended", ErrSuspended, p.E.ID)
 	}
 	if _, in := k.CPU.InEnclave(); in {
 		return 0, fmt.Errorf("hostos: cannot suspend a running enclave")
+	}
+	if dead, _, _ := p.E.Dead(); dead {
+		return 0, fmt.Errorf("hostos: suspend of enclave %d: %w", p.E.ID, sgx.ErrEnclaveTerminated)
 	}
 	p.suspended = true
 	n := 0
@@ -43,8 +51,12 @@ func (k *Kernel) SuspendEnclave(p *Proc) (int, error) {
 // contract) and marks the enclave runnable again. OS-managed pages are
 // left to ordinary demand paging.
 func (k *Kernel) ResumeEnclave(p *Proc) error {
+	p, err := k.proc(p)
+	if err != nil {
+		return err
+	}
 	if !p.suspended {
-		return fmt.Errorf("hostos: enclave %d not suspended", p.E.ID)
+		return fmt.Errorf("%w: enclave %d", ErrNotSuspended, p.E.ID)
 	}
 	var managed []mmu.VAddr
 	for _, ps := range p.pages {

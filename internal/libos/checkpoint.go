@@ -8,6 +8,7 @@ import (
 	"autarky/internal/hostos"
 	"autarky/internal/metrics"
 	"autarky/internal/mmu"
+	"autarky/internal/sgx"
 	"autarky/internal/sim"
 )
 
@@ -57,7 +58,7 @@ func (p *Process) Checkpoint() (*Checkpoint, error) {
 		return nil, fmt.Errorf("libos: checkpoint while the enclave is executing")
 	}
 	if dead, reason, _ := p.Proc.E.Dead(); dead {
-		return nil, fmt.Errorf("libos: checkpoint of dead enclave (%s)", reason)
+		return nil, fmt.Errorf("libos: checkpoint of dead enclave (%s): %w", reason, sgx.ErrEnclaveTerminated)
 	}
 	var pages []checkpointPage
 	err := p.Run(func(ctx *core.Context) {
@@ -94,6 +95,49 @@ func (p *Process) Checkpoint() (*Checkpoint, error) {
 	return &Checkpoint{Sealed: sealed}, nil
 }
 
+// validatePayload sanity-checks a decoded checkpoint before any of it is
+// used to size allocations or drive the replay path. Only payloads sealed
+// under the platform key reach this point, but "sealed" does not imply
+// "shaped like a checkpoint" — a hostile sealing oracle, or a bug in an
+// older writer, must surface ErrBadCheckpoint, never a panic.
+func validatePayload(p *checkpointPayload) error {
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("libos: checkpoint payload: "+format+": %w",
+			append(args, sgx.ErrBadCheckpoint)...)
+	}
+	img := &p.Image
+	total := img.DataPages + img.HeapPages + img.StackPages + img.ReservePages
+	if img.DataPages < 0 || img.HeapPages < 0 || img.StackPages < 0 || img.ReservePages < 0 {
+		return bad("negative region size")
+	}
+	for i := range img.Libraries {
+		l := &img.Libraries[i]
+		if l.Pages < 0 {
+			return bad("library %q has negative page count", l.Name)
+		}
+		for _, f := range l.Funcs {
+			if f.Pages < 0 {
+				return bad("function %q has negative page count", f.Name)
+			}
+		}
+		total += l.TotalPages()
+	}
+	const maxImagePages = 1 << 20 // 4 GiB of ELRANGE; far beyond any test image
+	if total <= 0 || total > maxImagePages {
+		return bad("implausible image size %d pages", total)
+	}
+	for i := range p.Pages {
+		pg := &p.Pages[i]
+		if pg.VA%mmu.PageSize != 0 {
+			return bad("unaligned page address %#x", pg.VA)
+		}
+		if len(pg.Data) > mmu.PageSize {
+			return bad("page %#x carries %d bytes", pg.VA, len(pg.Data))
+		}
+	}
+	return nil
+}
+
 // writableRegions returns the regions a checkpoint must carry, in ascending
 // address order. Code pages are omitted: the loader regenerates them
 // deterministically and the measurement check proves they match.
@@ -115,7 +159,7 @@ func (p *Process) writableRegions() []Region {
 // captured pages and progress counter into it.
 func Restore(k *hostos.Kernel, clock *sim.Clock, costs *sim.Costs, cp *Checkpoint) (*Process, error) {
 	if cp == nil || len(cp.Sealed) == 0 {
-		return nil, fmt.Errorf("libos: restore from empty checkpoint")
+		return nil, fmt.Errorf("libos: restore from empty checkpoint: %w", sgx.ErrBadCheckpoint)
 	}
 	raw, err := k.CPU.OpenCheckpoint(cp.Sealed)
 	if err != nil {
@@ -123,7 +167,10 @@ func Restore(k *hostos.Kernel, clock *sim.Clock, costs *sim.Costs, cp *Checkpoin
 	}
 	var payload checkpointPayload
 	if err := json.Unmarshal(raw, &payload); err != nil {
-		return nil, fmt.Errorf("libos: decoding checkpoint: %w", err)
+		return nil, fmt.Errorf("libos: decoding checkpoint: %v: %w", err, sgx.ErrBadCheckpoint)
+	}
+	if err := validatePayload(&payload); err != nil {
+		return nil, err
 	}
 	base := payload.Config.Base
 	if base == 0 {
@@ -141,7 +188,22 @@ func Restore(k *hostos.Kernel, clock *sim.Clock, costs *sim.Costs, cp *Checkpoin
 		return nil, err
 	}
 	if p.Proc.E.Measurement() != payload.Measurement {
-		return nil, fmt.Errorf("libos: restored enclave measurement differs from checkpoint")
+		return nil, fmt.Errorf("libos: restored enclave measurement differs from checkpoint: %w", sgx.ErrBadCheckpoint)
+	}
+	// Replay only pages the rebuilt image actually has as writable state; a
+	// sealed payload naming any other address is inconsistent with the image
+	// it carries and must fail cleanly, not fault the replay.
+	writable := make(map[mmu.VAddr]bool)
+	for _, r := range p.writableRegions() {
+		for _, va := range r.PageVAs() {
+			writable[va] = true
+		}
+	}
+	for i := range payload.Pages {
+		if !writable[mmu.VAddr(payload.Pages[i].VA)] {
+			return nil, fmt.Errorf("libos: checkpoint page %#x outside the image's writable regions: %w",
+				payload.Pages[i].VA, sgx.ErrBadCheckpoint)
+		}
 	}
 	err = p.Run(func(ctx *core.Context) {
 		for i := range payload.Pages {

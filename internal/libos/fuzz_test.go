@@ -1,0 +1,129 @@
+package libos
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"autarky/internal/core"
+	"autarky/internal/hostos"
+	"autarky/internal/sgx"
+)
+
+// fuzzImage is the small enclave every FuzzRestore iteration rebuilds.
+func fuzzImage() (AppImage, Config) {
+	img := AppImage{
+		Name:      "fuzz",
+		Libraries: []Library{{Name: "libfuzz.so", Pages: 1}},
+		HeapPages: 4,
+	}
+	return img, Config{}
+}
+
+// fuzzCheckpoint builds one genuine sealed checkpoint (and the CPU that
+// sealed it, for sealing hostile-but-authentic payload variants). Every
+// machine in this file shares newKernel's root secret, so blobs sealed
+// here authenticate on the fresh machine each fuzz iteration builds.
+func fuzzCheckpoint(f *testing.F) (*hostos.Kernel, *Checkpoint) {
+	f.Helper()
+	k, clock, costs := newKernel()
+	img, cfg := fuzzImage()
+	p, err := Load(k, clock, costs, img, cfg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	err = p.Run(func(ctx *core.Context) {
+		var buf [8]byte
+		ctx.Write(p.Heap.Page(0), buf[:])
+		ctx.Progress(3)
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	cp, err := p.Checkpoint()
+	if err != nil {
+		f.Fatal(err)
+	}
+	return k, cp
+}
+
+// FuzzRestore drives libos.Restore with attacker-shaped checkpoint blobs.
+// The OS holds checkpoints at rest, so the decode path faces fully hostile
+// input. The property under fuzz mirrors FuzzUnseal one layer up: Restore
+// never panics, never returns anything but the documented sentinel on a
+// bad blob, and only succeeds on the genuine sealed bytes — in which case
+// the restored process must carry the captured progress counter.
+func FuzzRestore(f *testing.F) {
+	sealer, good := fuzzCheckpoint(f)
+	sealHostile := func(payload []byte) []byte {
+		sealed, err := sealer.CPU.SealCheckpoint(payload)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return sealed
+	}
+
+	// Seed corpus: the genuine blob plus one representative of each
+	// documented failure refinement.
+	f.Add(good.Sealed)     // authentic
+	f.Add(good.Sealed[:8]) // truncated below any checkpoint
+	f.Add([]byte{})        // empty
+	f.Add([]byte("not a sealed blob at all"))
+	corrupt := append([]byte(nil), good.Sealed...)
+	corrupt[len(corrupt)/2] ^= 0xFF
+	f.Add(corrupt) // flipped ciphertext byte
+	// Authentic seal, garbage payload: authentication passes, decode fails.
+	f.Add(sealHostile([]byte("{ not json")))
+	// Authentic seal, well-formed JSON, hostile shape: negative region.
+	bad, _ := json.Marshal(checkpointPayload{Image: AppImage{HeapPages: -4}})
+	f.Add(sealHostile(bad))
+	// Authentic seal, valid image, wrong measurement: the restored enclave
+	// can never match.
+	img, cfg := fuzzImage()
+	wrongM, _ := json.Marshal(checkpointPayload{Image: img, Config: cfg,
+		Measurement: [32]byte{0xBA, 0xD0}})
+	f.Add(sealHostile(wrongM))
+
+	f.Fuzz(func(t *testing.T, sealed []byte) {
+		k, clock, costs := newKernel()
+		p, err := Restore(k, clock, costs, &Checkpoint{Sealed: sealed})
+		if err != nil {
+			if !errors.Is(err, sgx.ErrBadCheckpoint) {
+				t.Fatalf("Restore returned a non-checkpoint error: %v", err)
+			}
+			return
+		}
+		// Success means the platform seal authenticated and the payload
+		// validated: only the genuine blob can do both.
+		if !bytes.Equal(sealed, good.Sealed) {
+			t.Fatalf("forged checkpoint restored (%d bytes)", len(sealed))
+		}
+		if p == nil || p.Runtime.Progress() != 3 {
+			t.Fatalf("restored process lost state: %+v", p)
+		}
+	})
+}
+
+// TestRestoreOntoLiveProcess: a checkpoint must not let the OS replace a
+// live incarnation — Restore refuses with the kernel's liveness sentinel
+// and the running process is untouched.
+func TestRestoreOntoLiveProcess(t *testing.T) {
+	k, clock, costs := newKernel()
+	img, cfg := fuzzImage()
+	p, err := Load(k, clock, costs, img, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := p.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Restore(k, clock, costs, cp); !errors.Is(err, hostos.ErrEnclaveLive) {
+		t.Fatalf("Restore onto a live process: %v, want ErrEnclaveLive", err)
+	}
+	// The live incarnation still runs.
+	if err := p.Run(func(ctx *core.Context) { ctx.Progress(1) }); err != nil {
+		t.Fatalf("live process damaged by refused restore: %v", err)
+	}
+}

@@ -1,0 +1,323 @@
+package orderly
+
+import (
+	"errors"
+	"fmt"
+
+	"autarky/internal/hostos"
+	"autarky/internal/libos"
+	"autarky/internal/pagestore"
+	"autarky/internal/sgx"
+)
+
+// This file is the orderliness model: a declarative table mapping
+// (operation, lifecycle phase, condition flags) to the outcome the
+// implementation must produce. The checker never hard-codes behaviour —
+// every judgement it makes traces back to one row here, and mutating a row
+// makes the corresponding interleavings fail with a replayable
+// counterexample (orderly_test.go proves that).
+
+// TriState matches a boolean condition: require true, require false, or
+// don't care.
+type TriState uint8
+
+// TriState values.
+const (
+	// Any matches both.
+	Any TriState = iota
+	// Yes requires the condition.
+	Yes
+	// No requires its absence.
+	No
+)
+
+func (t TriState) match(b bool) bool { return t == Any || (t == Yes) == b }
+
+// WantKind classifies an expected outcome.
+type WantKind uint8
+
+// The outcome classes.
+const (
+	// WantOK: the operation must succeed.
+	WantOK WantKind = iota
+	// WantErrIs: the error chain must contain the sentinel.
+	WantErrIs
+	// WantTerm: the enclave must be terminated with the given reason
+	// (errors.As to *sgx.TerminationError).
+	WantTerm
+	// WantConfig: the error must be a *libos.ConfigError naming the field.
+	WantConfig
+)
+
+// Want is the expected outcome of one rule.
+type Want struct {
+	Kind   WantKind
+	Err    error                 // WantErrIs sentinel
+	Reason sgx.TerminationReason // WantTerm reason
+	Field  string                // WantConfig field
+}
+
+// String renders the expectation for counterexample messages.
+func (w Want) String() string {
+	switch w.Kind {
+	case WantOK:
+		return "success"
+	case WantErrIs:
+		return fmt.Sprintf("error matching %q", w.Err)
+	case WantTerm:
+		return fmt.Sprintf("termination (%s)", w.Reason)
+	case WantConfig:
+		return fmt.Sprintf("config rejection of field %q", w.Field)
+	default:
+		return fmt.Sprintf("Want(%d)", int(w.Kind))
+	}
+}
+
+// check judges a raw outcome against the expectation. It returns "" when
+// the outcome conforms and a description of the divergence otherwise. A
+// panic never conforms.
+func (w Want) check(err error, panicked bool) string {
+	if panicked {
+		return err.Error()
+	}
+	switch w.Kind {
+	case WantOK:
+		if err != nil {
+			return fmt.Sprintf("unexpected error: %v", err)
+		}
+	case WantErrIs:
+		if err == nil {
+			return "silent success"
+		}
+		if !errors.Is(err, w.Err) {
+			return fmt.Sprintf("wrong error class: %v", err)
+		}
+	case WantTerm:
+		var te *sgx.TerminationError
+		if err == nil {
+			return "silent success"
+		}
+		if !errors.As(err, &te) {
+			return fmt.Sprintf("not a termination: %v", err)
+		}
+		if te.Reason != w.Reason {
+			return fmt.Sprintf("terminated for %s, not %s: %v", te.Reason, w.Reason, err)
+		}
+	case WantConfig:
+		var ce *libos.ConfigError
+		if err == nil {
+			return "silent success"
+		}
+		if !errors.As(err, &ce) {
+			return fmt.Sprintf("not a config rejection: %v", err)
+		}
+		if ce.Field != w.Field {
+			return fmt.Sprintf("rejected field %q, not %q: %v", ce.Field, w.Field, err)
+		}
+	}
+	return ""
+}
+
+// Rule is one row of the orderliness model. The first rule whose guard
+// matches (operation, phase, flags) decides the expected outcome; a
+// combination no rule covers is skipped by the checker and counted as
+// unspecified — enumeration is spec-gated, never silently truncated.
+type Rule struct {
+	// Op guards the operation.
+	Op Op
+	// Phases guards the lifecycle phase (empty = any).
+	Phases []Phase
+	// Guards over the condition flags.
+	SelfPaging     TriState
+	Tight          TriState
+	TamperedHeap   TriState
+	TamperedPinned TriState
+	HasCheckpoint  TriState
+	// Want is the required outcome.
+	Want Want
+	// Next, when not PhaseAny, asserts the phase after the operation.
+	Next Phase
+}
+
+func (r Rule) matches(op Op, c cond) bool {
+	if r.Op != op {
+		return false
+	}
+	if len(r.Phases) > 0 {
+		ok := false
+		for _, p := range r.Phases {
+			if p == c.Phase {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return r.SelfPaging.match(c.SelfPaging) &&
+		r.Tight.match(c.Tight) &&
+		r.TamperedHeap.match(c.TamperedHeap) &&
+		r.TamperedPinned.match(c.TamperedPinned) &&
+		r.HasCheckpoint.match(c.HasCheckpoint)
+}
+
+// Spec is an ordered rule table.
+type Spec struct {
+	Rules []Rule
+}
+
+// Rule returns the first matching rule for (op, c).
+func (s *Spec) Rule(op Op, c cond) (Rule, bool) {
+	for _, r := range s.Rules {
+		if r.matches(op, c) {
+			return r, true
+		}
+	}
+	return Rule{}, false
+}
+
+// Convenience constructors for rows.
+func ok() Want                               { return Want{Kind: WantOK} }
+func is(err error) Want                      { return Want{Kind: WantErrIs, Err: err} }
+func term(reason sgx.TerminationReason) Want { return Want{Kind: WantTerm, Reason: reason} }
+func config(field string) Want               { return Want{Kind: WantConfig, Field: field} }
+func in(phases ...Phase) []Phase             { return phases }
+
+// DefaultSpec is the orderliness model of the Autarky lifecycle. Comments
+// state the invariant each block encodes; the deliberate gaps (no row) are
+// listed at the end.
+func DefaultSpec() *Spec {
+	return &Spec{Rules: []Rule{
+		// ---- load ----
+		// Loading is legal only into an empty or torn-down address range.
+		{Op: OpLoad, Phases: in(PhaseAbsent, PhaseDestroyed), Want: ok(), Next: PhaseLoaded},
+		// A contradictory configuration is rejected by field name in any
+		// phase, before any machine state is touched.
+		{Op: OpLoadBad, Want: config("ElideAEX"), Next: PhaseAny},
+
+		// ---- run ----
+		// Entering a never-loaded or destroyed enclave hits the stale-
+		// handle guard, never a nil dereference.
+		{Op: OpRun, Phases: in(PhaseAbsent, PhaseDestroyed), Want: is(hostos.ErrNotLoaded)},
+		{Op: OpRun, Phases: in(PhaseSuspended), Want: is(hostos.ErrSuspended), Next: PhaseSuspended},
+		// A dead enclave replays its termination verdict on every entry.
+		{Op: OpRun, Phases: in(PhaseDead), Want: term(sgx.TerminateIntegrity), Next: PhaseDead},
+		// Self-paging detects a tampered heap blob on the very next fetch
+		// and terminates — the paper's integrity guarantee.
+		{Op: OpRun, Phases: in(PhaseLoaded), SelfPaging: Yes, TamperedHeap: Yes,
+			Want: term(sgx.TerminateIntegrity), Next: PhaseDead},
+		{Op: OpRun, Phases: in(PhaseLoaded), TamperedHeap: No, TamperedPinned: No,
+			Want: ok(), Next: PhaseLoaded},
+
+		// ---- suspend ----
+		{Op: OpSuspend, Phases: in(PhaseAbsent, PhaseDestroyed), Want: is(hostos.ErrNotLoaded)},
+		{Op: OpSuspend, Phases: in(PhaseSuspended), Want: is(hostos.ErrSuspended), Next: PhaseSuspended},
+		{Op: OpSuspend, Phases: in(PhaseDead), Want: is(sgx.ErrEnclaveTerminated), Next: PhaseDead},
+		{Op: OpSuspend, Phases: in(PhaseLoaded), SelfPaging: No, Want: ok(), Next: PhaseSuspended},
+		// Self-paging wholesale swap-out needs a quota that can take every
+		// enclave-managed page back on resume; tight-quota suspension is a
+		// deliberate spec gap (see below).
+		{Op: OpSuspend, Phases: in(PhaseLoaded), SelfPaging: Yes, Tight: No, Want: ok(), Next: PhaseSuspended},
+
+		// ---- resume ----
+		{Op: OpResume, Phases: in(PhaseAbsent, PhaseDestroyed), Want: is(hostos.ErrNotLoaded)},
+		{Op: OpResume, Phases: in(PhaseLoaded, PhaseDead), Want: is(hostos.ErrNotSuspended)},
+		// Legacy SGX restores nothing on resume — tampering is silently
+		// accepted. This row documents the vulnerability Autarky closes.
+		{Op: OpResume, Phases: in(PhaseSuspended), SelfPaging: No, Want: ok(), Next: PhaseLoaded},
+		// Autarky's resume restores every enclave-managed page through the
+		// integrity-checked path: a tampered blob refuses the resume and
+		// the enclave stays suspended (refusal, not termination — the
+		// enclave never ran).
+		{Op: OpResume, Phases: in(PhaseSuspended), SelfPaging: Yes, TamperedHeap: Yes,
+			Want: is(pagestore.ErrIntegrity), Next: PhaseSuspended},
+		{Op: OpResume, Phases: in(PhaseSuspended), SelfPaging: Yes, TamperedPinned: Yes,
+			Want: is(pagestore.ErrIntegrity), Next: PhaseSuspended},
+		{Op: OpResume, Phases: in(PhaseSuspended), SelfPaging: Yes, Want: ok(), Next: PhaseLoaded},
+
+		// ---- checkpoint ----
+		// Checkpointing a dead or destroyed enclave is refused up front
+		// (destroy requires death first, so both surface the same class).
+		{Op: OpCheckpoint, Phases: in(PhaseDead, PhaseDestroyed), Want: is(sgx.ErrEnclaveTerminated)},
+		{Op: OpCheckpoint, Phases: in(PhaseSuspended), Want: is(hostos.ErrSuspended), Next: PhaseSuspended},
+		// Capture drives the real access path, so a tampered heap blob
+		// kills the enclave mid-capture; the caller keeps its previous
+		// checkpoint.
+		{Op: OpCheckpoint, Phases: in(PhaseLoaded), SelfPaging: Yes, TamperedHeap: Yes,
+			Want: term(sgx.TerminateIntegrity), Next: PhaseDead},
+		{Op: OpCheckpoint, Phases: in(PhaseLoaded), TamperedHeap: No, TamperedPinned: No,
+			Want: ok(), Next: PhaseLoaded},
+
+		// ---- restore ----
+		// Restoring onto a live incarnation is refused; onto a dead,
+		// destroyed or empty range it yields a fresh loaded process.
+		{Op: OpRestore, Phases: in(PhaseLoaded, PhaseSuspended), HasCheckpoint: Yes,
+			Want: is(hostos.ErrEnclaveLive)},
+		{Op: OpRestore, Phases: in(PhaseAbsent, PhaseDead, PhaseDestroyed), HasCheckpoint: Yes,
+			Want: ok(), Next: PhaseLoaded},
+		// A bit-flipped checkpoint blob fails sealing authentication in
+		// any phase, before the live incarnation is touched.
+		{Op: OpRestoreBad, HasCheckpoint: Yes, Want: is(sgx.ErrBadCheckpoint), Next: PhaseAny},
+
+		// ---- destroy ----
+		// Double-destroy (and destroy-before-load) hit the stale-handle
+		// guard; destroying a live enclave is refused.
+		{Op: OpDestroy, Phases: in(PhaseAbsent, PhaseDestroyed), Want: is(hostos.ErrNotLoaded)},
+		{Op: OpDestroy, Phases: in(PhaseLoaded, PhaseSuspended), Want: is(hostos.ErrEnclaveLive)},
+		{Op: OpDestroy, Phases: in(PhaseDead), Want: ok(), Next: PhaseDestroyed},
+
+		// ---- synthetic fault delivery ----
+		// A fault the hardware never raised: after destroy it hits the
+		// stale-registration guard (this used to be a nil-deref panic); on
+		// a dead enclave the termination verdict replays; on a live one
+		// the resume is refused — there is no SSA frame to resume from.
+		{Op: OpFault, Phases: in(PhaseDestroyed), Want: is(hostos.ErrNotLoaded)},
+		{Op: OpFault, Phases: in(PhaseDead), Want: term(sgx.TerminateIntegrity), Next: PhaseDead},
+		{Op: OpFault, Phases: in(PhaseLoaded, PhaseSuspended), SelfPaging: Yes,
+			Want: is(sgx.ErrEPCMConflict)},
+		{Op: OpFault, Phases: in(PhaseLoaded, PhaseSuspended), SelfPaging: No, TamperedHeap: No,
+			Want: is(sgx.ErrEPCMConflict)},
+
+		// ---- synthetic timer delivery ----
+		{Op: OpTimer, Phases: in(PhaseDestroyed), Want: is(hostos.ErrNotLoaded)},
+		{Op: OpTimer, Phases: in(PhaseDead), Want: term(sgx.TerminateIntegrity), Next: PhaseDead},
+		{Op: OpTimer, Phases: in(PhaseLoaded, PhaseSuspended), Want: is(sgx.ErrEPCMConflict)},
+
+		// ---- attacker moves ----
+		// Tampering with the backing store always "succeeds" — it is the
+		// OS acting on memory it legitimately holds. Detection happens
+		// later, at fetch time; that is the whole point.
+		{Op: OpTamper, Phases: in(PhaseLoaded, PhaseSuspended, PhaseDead), Want: ok(), Next: PhaseAny},
+		{Op: OpTamperPinned, Phases: in(PhaseSuspended), SelfPaging: Yes, Want: ok(), Next: PhaseSuspended},
+
+		// ---- backend swap ----
+		// Swapping the paging backend under resident enclaves would
+		// orphan their sealed blobs mid-flight; it is refused until the
+		// range is clean.
+		{Op: OpSwapBackend, Phases: in(PhaseAbsent, PhaseDestroyed), Want: ok()},
+		{Op: OpSwapBackend, Phases: in(PhaseLoaded, PhaseSuspended, PhaseDead),
+			Want: is(hostos.ErrEnclavesLoaded)},
+
+		// Deliberate gaps (no row → the checker skips, counts, and never
+		// explores past the combination):
+		//   - legacy + tampered + {run, checkpoint, fault}: the legacy
+		//     demand pager feeds tampered plaintext straight into the
+		//     enclave; the simulator's trusted context traps the resulting
+		//     mis-wiring loudly instead of modelling silent corruption.
+		//   - self-paging + tight quota + suspend: resume could never
+		//     take all enclave-managed pages back under the quota.
+		//   - load into a live/dead range: two enclaves sharing one
+		//     page-table range is not a state the kernel model supports.
+	}}
+}
+
+// Clone deep-copies the spec so tests can mutate rows without aliasing.
+func (s *Spec) Clone() *Spec {
+	out := &Spec{Rules: make([]Rule, len(s.Rules))}
+	copy(out.Rules, s.Rules)
+	for i := range out.Rules {
+		out.Rules[i].Phases = append([]Phase(nil), s.Rules[i].Phases...)
+	}
+	return out
+}

@@ -49,6 +49,7 @@ var instrumented = []string{
 	"internal/oram",
 	"internal/sched",
 	"internal/fault",
+	"internal/orderly",
 }
 
 // deterministic lists the packages whose behavior must be a pure function
@@ -58,6 +59,9 @@ var instrumented = []string{
 // there is rejected outright.
 var deterministic = []string{
 	"internal/fault",
+	// The model checker's exploration (and its golden digest) must be a
+	// pure function of (scenario, spec, depth).
+	"internal/orderly",
 }
 
 // forbiddenImports are the nondeterminism sources banned in deterministic
