@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt metriclint apicheck chaos orderly fuzz cover check bench gobench
+.PHONY: all build test race vet fmt metriclint apicheck chaos orderly serving fuzz cover check bench gobench benchdiff
 
 all: build
 
@@ -11,9 +11,11 @@ test:
 	$(GO) test ./...
 
 # The determinism contract requires race-detector cleanliness: parallel
-# experiment cells must share no mutable state.
+# experiment cells must share no mutable state. The raised timeout covers
+# the full-scale E14 smoke run, which the race detector slows past go
+# test's 600s default.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 1800s ./...
 
 vet:
 	$(GO) vet ./...
@@ -29,6 +31,14 @@ fmt:
 bench: build
 	$(GO) run ./cmd/autarky-bench -format json > BENCH_$$(date +%Y-%m-%d).json
 	@echo "wrote BENCH_$$(date +%Y-%m-%d).json"
+
+# benchdiff regenerates the report and compares each experiment's total
+# simulated cycles against the newest committed BENCH_*.json baseline; any
+# experiment growing past 10% fails. After an intentional model change,
+# refresh the baseline with `make bench` and commit the new file.
+benchdiff: build
+	$(GO) run ./cmd/autarky-bench -format json > /tmp/bench_current.json
+	$(GO) run ./tools/benchdiff /tmp/bench_current.json
 
 # gobench runs the Go micro-benchmarks (the old `make bench`).
 gobench:
@@ -71,6 +81,19 @@ orderly: build
 	diff -u testdata/e13_orderliness.golden /tmp/e13_orderliness.jobs8
 	@echo "orderliness table matches golden at jobs=1 and jobs=8"
 
+# serving runs the E14 open-loop serving sweep at two worker counts and
+# diffs both against the committed golden table — the repository-level proof
+# that the service frontend (arrival schedules, dispatch, per-request
+# histograms) is byte-identical at any concurrency. Regenerate after an
+# intentional protocol or cost-model change with:
+#   go run ./cmd/autarky-bench -exp serving -jobs 1 > testdata/e14_serving.golden
+serving: build
+	$(GO) run ./cmd/autarky-bench -exp serving -jobs 1 > /tmp/e14_serving.jobs1
+	$(GO) run ./cmd/autarky-bench -exp serving -jobs 8 > /tmp/e14_serving.jobs8
+	diff -u testdata/e14_serving.golden /tmp/e14_serving.jobs1
+	diff -u testdata/e14_serving.golden /tmp/e14_serving.jobs8
+	@echo "serving table matches golden at jobs=1 and jobs=8"
+
 # fuzz gives the adversarial decode paths a quick shake: sealed-blob
 # authentication (pagestore) and checkpoint restore (libos). Run with a
 # longer -fuzztime locally when touching either.
@@ -95,7 +118,7 @@ cover:
 
 # check is the CI gate: formatting, static analysis, attribution lint,
 # API-surface freshness, build, the full test suite under the race
-# detector, the chaos and orderliness determinism goldens, the coverage
-# floors, and a short fuzz pass.
-check: fmt vet metriclint apicheck build race chaos orderly cover fuzz
+# detector, the chaos, orderliness and serving determinism goldens, the
+# coverage floors, and a short fuzz pass.
+check: fmt vet metriclint apicheck build race chaos orderly serving cover fuzz
 	@echo "all checks passed"

@@ -28,17 +28,17 @@ func TestErrorTaxonomy(t *testing.T) {
 	m := NewMachine(WithEPCFrames(512))
 
 	// Config rejections: class sentinel plus the field-specific type.
-	_, err := m.LoadApp(testImage(8), Config{QuotaPages: -1})
+	_, err := m.Spawn(testImage(8), Config{QuotaPages: -1})
 	if !errors.Is(err, ErrBadConfig) {
-		t.Fatalf("LoadApp bad config = %v, want ErrBadConfig", err)
+		t.Fatalf("Spawn bad config = %v, want ErrBadConfig", err)
 	}
 	var ce *ConfigError
 	if !errors.As(err, &ce) || ce.Field != "QuotaPages" {
-		t.Fatalf("LoadApp bad config did not carry *ConfigError{QuotaPages}: %v", err)
+		t.Fatalf("Spawn bad config did not carry *ConfigError{QuotaPages}: %v", err)
 	}
 
 	// LibOS allocation quota.
-	p, err := m.LoadApp(testImage(8), Config{})
+	p, err := m.Spawn(testImage(8), Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +48,7 @@ func TestErrorTaxonomy(t *testing.T) {
 
 	// Rate-limit termination: the run error is a *TerminationError caused by
 	// the policy's ErrRateLimited refusal.
-	p2, err := m.LoadApp(testImage(64), Config{
+	p2, err := m.Spawn(testImage(64), Config{
 		SelfPaging:     true,
 		Policy:         PolicyRateLimit,
 		RateLimitBurst: 1, // one fault allowed, no progress reported
@@ -99,7 +99,7 @@ func TestMachineMetrics(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	p, err := m.LoadApp(testImage(48), Config{
+	p, err := m.Spawn(testImage(48), Config{
 		SelfPaging:     true,
 		Policy:         PolicyRateLimit,
 		RateLimitBurst: 1 << 30,

@@ -14,7 +14,7 @@
 // # Quick start
 //
 //	m := autarky.NewMachine()
-//	p, err := m.LoadApp(autarky.AppImage{
+//	p, err := m.Spawn(autarky.AppImage{
 //		Name:      "hello",
 //		Libraries: []autarky.Library{{Name: "libhello.so", Pages: 4}},
 //		HeapPages: 64,
@@ -28,11 +28,17 @@
 //		}
 //	})
 //
+// Enclave-resident request servers with open-loop load and exact latency
+// percentiles are one call away: see Machine.Serve.
+//
 // Everything is deterministic: performance results are logical cycle counts
 // on the machine's clock.
 package autarky
 
 import (
+	"errors"
+	"fmt"
+
 	"autarky/internal/cluster"
 	"autarky/internal/core"
 	"autarky/internal/fault"
@@ -146,6 +152,11 @@ const (
 // PageSize is the architectural page size (4 KiB).
 const PageSize = mmu.PageSize
 
+// DefaultBase is the ELRANGE base the loader uses when Config.Base is zero
+// under LoadApp, and the first auto-placed slot under Spawn. Pass it (or
+// any explicit base) to co-locate enclaves at identical layouts.
+const DefaultBase = libos.DefaultBase
+
 // Machine is one simulated host: CPU, MMU, EPC, untrusted kernel and
 // backing store. Create enclave processes on it with Spawn; drive them with
 // Proc.Run/Wait. Several processes coexist on one machine, time-sliced by
@@ -166,9 +177,10 @@ type Machine struct {
 	quantum     uint64
 	nextBase    mmu.VAddr
 
-	// backendErr records a WithBackingStore spec rejection; machine
-	// construction cannot fail, so the first Spawn/LoadApp surfaces it.
-	backendErr error
+	// optErr records the first WithXxx option rejection; machine
+	// construction cannot fail, so the first Spawn/LoadApp/Serve/Restore
+	// surfaces it (always a *ConfigError matching ErrBadConfig).
+	optErr error
 }
 
 // Option customizes machine construction.
@@ -217,9 +229,9 @@ func WithRootSecret(secret []byte) Option {
 	return func(c *machineConfig) { c.rootSecret = append([]byte(nil), secret...) }
 }
 
-// NewMachine builds a simulated host.
-func NewMachine(opts ...Option) *Machine {
-	cfg := machineConfig{
+// defaultMachineConfig is the option baseline NewMachine starts from.
+func defaultMachineConfig() machineConfig {
+	return machineConfig{
 		epcFrames:   65536,
 		epcBase:     mmu.PFN(0x100000),
 		tlbSets:     64,
@@ -229,8 +241,39 @@ func NewMachine(opts ...Option) *Machine {
 		schedPolicy: sched.RoundRobin,
 		quantum:     sched.DefaultQuantum,
 	}
+}
+
+// validate is the single validation path every WithXxx option funnels
+// through (the storage options — backing, fault plan, retry, fallback —
+// are checked where their stacks are built, on the same optErr). The first
+// problem is reported as a *ConfigError naming the offending option.
+func (c *machineConfig) validate() error {
+	if c.epcFrames < 1 {
+		return &ConfigError{Field: "EPCFrames", Reason: fmt.Sprintf("%d frames, want >= 1", c.epcFrames)}
+	}
+	if c.tlbSets < 1 || c.tlbWays < 1 {
+		return &ConfigError{Field: "TLBGeometry", Reason: fmt.Sprintf("%d sets x %d ways, want >= 1x1", c.tlbSets, c.tlbWays)}
+	}
+	if len(c.rootSecret) == 0 {
+		return &ConfigError{Field: "RootSecret", Reason: "empty sealing root"}
+	}
+	if _, err := sched.NewPolicy(c.schedPolicy); err != nil {
+		return &ConfigError{Field: "Scheduler", Reason: fmt.Sprintf("unknown policy kind %d", int(c.schedPolicy))}
+	}
+	return nil
+}
+
+// NewMachine builds a simulated host.
+func NewMachine(opts ...Option) *Machine {
+	cfg := defaultMachineConfig()
 	for _, o := range opts {
 		o(&cfg)
+	}
+	optErr := cfg.validate()
+	if optErr != nil {
+		// Construct on safe defaults so the machine's fields stay usable
+		// values; the recorded error blocks every entry point anyway.
+		cfg = defaultMachineConfig()
 	}
 	clock := sim.NewClock()
 	costs := cfg.costs
@@ -245,37 +288,41 @@ func NewMachine(opts ...Option) *Machine {
 	// then the fault injector (so every kernel-visible operation is exposed
 	// to it), then the retry layer (which re-rolls transient outages), then
 	// the degraded-mode mirror (which absorbs what retry could not).
-	var backendErr error
 	backend, err := buildBacking(cfg.backing, store, clock, costs, 0)
-	if err != nil {
-		backendErr = err
+	if optErr == nil && err != nil {
+		optErr = err
 	}
-	if backendErr == nil && cfg.faultPlan != nil {
+	if optErr == nil && cfg.faultPlan != nil {
 		if err := cfg.faultPlan.Validate(); err != nil {
-			backendErr = &ConfigError{Field: "FaultPlan", Reason: err.Error()}
+			optErr = &ConfigError{Field: "FaultPlan", Reason: err.Error()}
 		} else {
 			backend = fault.NewBackend(backend, *cfg.faultPlan, clock)
 		}
 	}
-	if backendErr == nil && cfg.retry != nil {
+	if optErr == nil && cfg.retry != nil {
 		if err := cfg.retry.Validate(); err != nil {
-			backendErr = &ConfigError{Field: "RetryPolicy", Reason: err.Error()}
+			optErr = &ConfigError{Field: "RetryPolicy", Reason: err.Error()}
 		} else {
 			backend = hostos.NewRetryBackend(backend, *cfg.retry, clock)
 		}
 	}
-	if backendErr == nil && cfg.fallbackSet {
+	if optErr == nil && cfg.fallbackSet {
 		secondary, err := buildBacking(cfg.fallback, pagestore.NewStore(), clock, costs, 0)
 		if err != nil {
-			backendErr = err
+			var ce *ConfigError
+			if errors.As(err, &ce) {
+				optErr = &ConfigError{Field: "FallbackStore", Reason: ce.Reason}
+			} else {
+				optErr = err
+			}
 		} else {
 			backend = pagestore.NewFallbackBackend(backend, secondary, clock, costs)
 		}
 	}
-	if backendErr == nil {
+	if optErr == nil {
 		// The kernel is freshly built and hosts no enclaves, so the install
 		// cannot be refused; a non-nil error here is a wiring bug.
-		backendErr = kernel.SetBackend(backend)
+		optErr = kernel.SetBackend(backend)
 	}
 	return &Machine{
 		Clock:       clock,
@@ -289,7 +336,7 @@ func NewMachine(opts ...Option) *Machine {
 		schedPolicy: cfg.schedPolicy,
 		quantum:     cfg.quantum,
 		nextBase:    libos.DefaultBase,
-		backendErr:  backendErr,
+		optErr:      optErr,
 	}
 }
 
@@ -301,8 +348,8 @@ func NewMachine(opts ...Option) *Machine {
 // Deprecated: use Spawn, which places any number of co-resident enclaves
 // and schedules them; Proc.Run is a drop-in replacement for Process.Run.
 func (m *Machine) LoadApp(img AppImage, cfg Config) (*Process, error) {
-	if m.backendErr != nil {
-		return nil, m.backendErr
+	if m.optErr != nil {
+		return nil, m.optErr
 	}
 	return libos.Load(m.Kernel, m.Clock, m.Costs, img, cfg)
 }

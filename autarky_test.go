@@ -19,9 +19,9 @@ func testImage(heapPages int) AppImage {
 
 func TestLegacyEnclaveRunsToCompletion(t *testing.T) {
 	m := NewMachine(WithEPCFrames(1024))
-	p, err := m.LoadApp(testImage(32), Config{})
+	p, err := m.Spawn(testImage(32), Config{})
 	if err != nil {
-		t.Fatalf("LoadApp: %v", err)
+		t.Fatalf("Spawn: %v", err)
 	}
 	ran := false
 	err = p.Run(func(ctx *Context) {
@@ -47,9 +47,9 @@ func TestLegacyEnclaveRunsToCompletion(t *testing.T) {
 
 func TestSelfPagingEnclaveRunsWithoutFaults(t *testing.T) {
 	m := NewMachine(WithEPCFrames(1024))
-	p, err := m.LoadApp(testImage(32), Config{SelfPaging: true, Policy: PolicyPinAll})
+	p, err := m.Spawn(testImage(32), Config{SelfPaging: true, Policy: PolicyPinAll})
 	if err != nil {
-		t.Fatalf("LoadApp: %v", err)
+		t.Fatalf("Spawn: %v", err)
 	}
 	err = p.Run(func(ctx *Context) {
 		for _, va := range p.Heap.PageVAs() {
@@ -70,14 +70,14 @@ func TestSelfPagingEnclaveRunsWithoutFaults(t *testing.T) {
 func TestSelfPagingDemandPagingUnderQuota(t *testing.T) {
 	m := NewMachine(WithEPCFrames(1024))
 	// Image: 4 code + 64 heap + 8 stack = 76 pages; quota 40 forces paging.
-	p, err := m.LoadApp(testImage(64), Config{
+	p, err := m.Spawn(testImage(64), Config{
 		SelfPaging:     true,
 		Policy:         PolicyRateLimit,
 		RateLimitBurst: 10_000,
 		QuotaPages:     40,
 	})
 	if err != nil {
-		t.Fatalf("LoadApp: %v", err)
+		t.Fatalf("Spawn: %v", err)
 	}
 	err = p.Run(func(ctx *Context) {
 		// Two sweeps so evicted pages get re-faulted.
@@ -108,14 +108,14 @@ func TestSelfPagingDemandPagingUnderQuota(t *testing.T) {
 
 func TestPageDataSurvivesEviction(t *testing.T) {
 	m := NewMachine(WithEPCFrames(1024))
-	p, err := m.LoadApp(testImage(64), Config{
+	p, err := m.Spawn(testImage(64), Config{
 		SelfPaging:     true,
 		Policy:         PolicyRateLimit,
 		RateLimitBurst: 100_000,
 		QuotaPages:     40,
 	})
 	if err != nil {
-		t.Fatalf("LoadApp: %v", err)
+		t.Fatalf("Spawn: %v", err)
 	}
 	err = p.Run(func(ctx *Context) {
 		heap := p.Heap.PageVAs()
@@ -144,9 +144,9 @@ func TestVanillaSilentResumeWorks(t *testing.T) {
 	// unmap a page, capture the fault, remap, and silently resume — the
 	// enclave cannot tell.
 	m := NewMachine(WithEPCFrames(1024))
-	p, err := m.LoadApp(testImage(8), Config{})
+	p, err := m.Spawn(testImage(8), Config{})
 	if err != nil {
-		t.Fatalf("LoadApp: %v", err)
+		t.Fatalf("Spawn: %v", err)
 	}
 	target := p.Heap.Page(3)
 	faults0 := len(m.Kernel.FaultLog.Events)
@@ -172,9 +172,9 @@ func TestVanillaSilentResumeWorks(t *testing.T) {
 
 func TestAutarkyDetectsInducedFault(t *testing.T) {
 	m := NewMachine(WithEPCFrames(1024))
-	p, err := m.LoadApp(testImage(8), Config{SelfPaging: true, Policy: PolicyPinAll})
+	p, err := m.Spawn(testImage(8), Config{SelfPaging: true, Policy: PolicyPinAll})
 	if err != nil {
-		t.Fatalf("LoadApp: %v", err)
+		t.Fatalf("Spawn: %v", err)
 	}
 	target := p.Heap.Page(3)
 	err = p.Run(func(ctx *Context) {
@@ -197,14 +197,14 @@ func TestAutarkyDetectsInducedFault(t *testing.T) {
 
 func TestAutarkyMasksFaultAddress(t *testing.T) {
 	m := NewMachine(WithEPCFrames(1024))
-	p, err := m.LoadApp(testImage(64), Config{
+	p, err := m.Spawn(testImage(64), Config{
 		SelfPaging:     true,
 		Policy:         PolicyRateLimit,
 		RateLimitBurst: 100_000,
 		QuotaPages:     40,
 	})
 	if err != nil {
-		t.Fatalf("LoadApp: %v", err)
+		t.Fatalf("Spawn: %v", err)
 	}
 	m.Kernel.FaultLog.Reset()
 	err = p.Run(func(ctx *Context) {
@@ -233,14 +233,14 @@ func TestAutarkyMasksFaultAddress(t *testing.T) {
 
 func TestRateLimitTerminatesExcessiveFaults(t *testing.T) {
 	m := NewMachine(WithEPCFrames(1024))
-	p, err := m.LoadApp(testImage(64), Config{
+	p, err := m.Spawn(testImage(64), Config{
 		SelfPaging:     true,
 		Policy:         PolicyRateLimit,
 		RateLimitBurst: 5, // tiny budget, no progress reported
 		QuotaPages:     40,
 	})
 	if err != nil {
-		t.Fatalf("LoadApp: %v", err)
+		t.Fatalf("Spawn: %v", err)
 	}
 	err = p.Run(func(ctx *Context) {
 		for pass := 0; pass < 3; pass++ {
@@ -260,7 +260,7 @@ func TestRateLimitTerminatesExcessiveFaults(t *testing.T) {
 
 func TestSGX2SoftwarePagingRoundTrip(t *testing.T) {
 	m := NewMachine(WithEPCFrames(1024))
-	p, err := m.LoadApp(testImage(64), Config{
+	p, err := m.Spawn(testImage(64), Config{
 		SelfPaging:     true,
 		Policy:         PolicyRateLimit,
 		RateLimitBurst: 100_000,
@@ -268,7 +268,7 @@ func TestSGX2SoftwarePagingRoundTrip(t *testing.T) {
 		Mech:           core.MechSGX2,
 	})
 	if err != nil {
-		t.Fatalf("LoadApp: %v", err)
+		t.Fatalf("Spawn: %v", err)
 	}
 	err = p.Run(func(ctx *Context) {
 		heap := p.Heap.PageVAs()
@@ -293,14 +293,14 @@ func TestSGX2SoftwarePagingRoundTrip(t *testing.T) {
 
 func TestClusterPolicyFetchesWholeCluster(t *testing.T) {
 	m := NewMachine(WithEPCFrames(1024))
-	p, err := m.LoadApp(testImage(64), Config{
+	p, err := m.Spawn(testImage(64), Config{
 		SelfPaging:       true,
 		Policy:           PolicyClusters,
 		QuotaPages:       40,
 		DataClusterPages: 8,
 	})
 	if err != nil {
-		t.Fatalf("LoadApp: %v", err)
+		t.Fatalf("Spawn: %v", err)
 	}
 	err = p.Run(func(ctx *Context) {
 		pages, err := p.Alloc.AllocPages(48)

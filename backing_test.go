@@ -12,14 +12,14 @@ import (
 // machine's final cycle count.
 func runQuotaPressured(t *testing.T, m *Machine) uint64 {
 	t.Helper()
-	p, err := m.LoadApp(testImage(64), Config{
+	p, err := m.Spawn(testImage(64), Config{
 		SelfPaging:     true,
 		Policy:         PolicyRateLimit,
 		RateLimitBurst: 1 << 40,
 		QuotaPages:     32,
 	})
 	if err != nil {
-		t.Fatalf("LoadApp: %v", err)
+		t.Fatalf("Spawn: %v", err)
 	}
 	if err := p.Run(func(ctx *Context) {
 		for pass := 0; pass < 2; pass++ {
@@ -109,9 +109,9 @@ func TestBackingStoreInvalidStacksRejected(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			m := NewMachine(WithEPCFrames(1024), WithBackingStore(tc.spec))
-			_, err := m.LoadApp(testImage(8), Config{})
+			_, err := m.Spawn(testImage(8), Config{})
 			if err == nil {
-				t.Fatal("LoadApp accepted an invalid backing stack")
+				t.Fatal("Spawn accepted an invalid backing stack")
 			}
 			if !errors.Is(err, ErrBadConfig) {
 				t.Fatalf("error %v does not wrap ErrBadConfig", err)

@@ -115,7 +115,7 @@ func BenchmarkE8Ablations(b *testing.B) {
 // large parameter sweeps.
 func BenchmarkMachineTouchResident(b *testing.B) {
 	m := NewMachine(WithEPCFrames(1024))
-	p, err := m.LoadApp(AppImage{
+	p, err := m.Spawn(AppImage{
 		Name:      "hot",
 		Libraries: []Library{{Name: "libhot.so", Pages: 2}},
 		HeapPages: 8,
@@ -139,7 +139,7 @@ func BenchmarkMachineTouchResident(b *testing.B) {
 // fault path (fault, handler, fetch, evict).
 func BenchmarkSelfPagingFaultPath(b *testing.B) {
 	m := NewMachine(WithEPCFrames(1024))
-	p, err := m.LoadApp(AppImage{
+	p, err := m.Spawn(AppImage{
 		Name:      "fault",
 		Libraries: []Library{{Name: "libfault.so", Pages: 2}},
 		HeapPages: 64,

@@ -35,7 +35,7 @@ func main() {
 	m := autarky.NewMachine()
 	img, setup := victimSetup(*victim, *n)
 	cfg := autarky.Config{SelfPaging: *selfPaging, Policy: autarky.PolicyPinAll}
-	p, err := m.LoadApp(img, cfg)
+	p, err := m.Spawn(img, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -43,7 +43,7 @@ func main() {
 
 	var log *trace.Log
 	runErr := p.Run(func(ctx *core.Context) {
-		targets, workload := setup(p, ctx)
+		targets, workload := setup(p.Process, ctx)
 		var disarm func()
 		log, disarm = arm(m, *adversary, targets)
 		workload(ctx)

@@ -11,7 +11,7 @@ import (
 // pressure pages securely, and an OS-induced fault is detected.
 func Example() {
 	m := autarky.NewMachine()
-	p, err := m.LoadApp(autarky.AppImage{
+	p, err := m.Spawn(autarky.AppImage{
 		Name:      "demo",
 		Libraries: []autarky.Library{{Name: "libdemo.so", Pages: 2}},
 		HeapPages: 48,
@@ -51,9 +51,9 @@ func Example() {
 	// attack detected: true
 }
 
-// ExampleMachine_LoadApp shows that the self-paging attribute is part of
+// ExampleMachine_Spawn shows that the self-paging attribute is part of
 // the attested identity: a relying party can tell protected enclaves apart.
-func ExampleMachine_LoadApp() {
+func ExampleMachine_Spawn() {
 	img := autarky.AppImage{
 		Name:      "attested",
 		Libraries: []autarky.Library{{Name: "lib.so", Pages: 2}},
@@ -61,7 +61,7 @@ func ExampleMachine_LoadApp() {
 	}
 	load := func(selfPaging bool) [32]byte {
 		p, err := autarky.NewMachine(autarky.WithEPCFrames(256)).
-			LoadApp(img, autarky.Config{SelfPaging: selfPaging, Policy: autarky.PolicyPinAll})
+			Spawn(img, autarky.Config{SelfPaging: selfPaging, Policy: autarky.PolicyPinAll})
 		if err != nil {
 			panic(err)
 		}

@@ -29,7 +29,7 @@ func main() {
 	outPages := jcfg.OutPagesPerBlockRow * jcfg.BlocksH
 	heap := outPages + jcfg.TmpPages + 32
 
-	p, err := m.LoadApp(autarky.AppImage{
+	p, err := m.Spawn(autarky.AppImage{
 		Name:      "imagepipe",
 		Libraries: []autarky.Library{{Name: "libjpeg.so", Pages: 4}},
 		HeapPages: heap,
@@ -45,7 +45,7 @@ func main() {
 	}
 
 	err = p.Run(func(ctx *core.Context) {
-		j, err := workloads.BuildJPEG(p, m.Clock, jcfg)
+		j, err := workloads.BuildJPEG(p.Process, m.Clock, jcfg)
 		if err != nil {
 			log.Fatal(err)
 		}

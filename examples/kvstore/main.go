@@ -23,7 +23,7 @@ func main() {
 	arena := workloads.MemcachedArenaPages(mcfg)
 
 	cachePageCount := (arena*128/400 + 8) // the pinned ORAM cache buffer
-	p, err := m.LoadApp(autarky.AppImage{
+	p, err := m.Spawn(autarky.AppImage{
 		Name:      "kvstore",
 		Libraries: []autarky.Library{{Name: "libmemcached.so", Pages: 6}},
 		HeapPages: cachePageCount,

@@ -21,7 +21,7 @@ func main() {
 	}
 	// Self-paging enclave, rate-limited demand paging, EPC quota of 48
 	// pages (the image is ~108, so the runtime must page).
-	p, err := m.LoadApp(img, autarky.Config{
+	p, err := m.Spawn(img, autarky.Config{
 		SelfPaging:     true,
 		Policy:         autarky.PolicyRateLimit,
 		RateLimitBurst: 100_000,

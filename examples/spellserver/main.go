@@ -31,7 +31,7 @@ func main() {
 	}
 	totalPages := dicts * cfg.PagesPerDict
 
-	p, err := m.LoadApp(autarky.AppImage{
+	p, err := m.Spawn(autarky.AppImage{
 		Name:      "spellserver",
 		Libraries: []autarky.Library{{Name: "libhunspell.so", Pages: 6}},
 		HeapPages: totalPages + 16,
@@ -45,7 +45,7 @@ func main() {
 	}
 
 	err = p.Run(func(ctx *core.Context) {
-		h, err := workloads.BuildHunspell(p, ctx, cfg)
+		h, err := workloads.BuildHunspell(p.Process, ctx, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -31,7 +31,7 @@ func main() {
 	// Each guest runs a self-paging enclave under quota pressure — exactly
 	// the bare-metal flow, no special casing anywhere.
 	for gi, g := range guests {
-		p, err := g.LoadApp(autarky.AppImage{
+		p, err := g.Spawn(autarky.AppImage{
 			Name:      fmt.Sprintf("tenant-%d", gi),
 			Libraries: []autarky.Library{{Name: "libtenant.so", Pages: 4}},
 			HeapPages: 64,

@@ -30,7 +30,7 @@ func TestMachineOptions(t *testing.T) {
 func TestMachineDeterminism(t *testing.T) {
 	run := func() uint64 {
 		m := NewMachine(WithEPCFrames(512))
-		p, err := m.LoadApp(testImage(32), Config{
+		p, err := m.Spawn(testImage(32), Config{
 			SelfPaging:     true,
 			Policy:         PolicyRateLimit,
 			RateLimitBurst: 1 << 30,
@@ -83,7 +83,7 @@ func TestHypervisorStaticPartitioning(t *testing.T) {
 	// §5.4: Autarky enclaves inside each guest work unmodified. Both guests
 	// run self-paging enclaves under quota concurrently.
 	for gi, g := range hv.Guests() {
-		p, err := g.LoadApp(testImage(48), Config{
+		p, err := g.Spawn(testImage(48), Config{
 			SelfPaging:     true,
 			Policy:         PolicyRateLimit,
 			RateLimitBurst: 1 << 30,

@@ -13,7 +13,7 @@ import (
 
 func TestWholeEnclaveSuspendResume(t *testing.T) {
 	m := NewMachine(WithEPCFrames(1024))
-	p, err := m.LoadApp(testImage(24), Config{SelfPaging: true, Policy: PolicyPinAll})
+	p, err := m.Spawn(testImage(24), Config{SelfPaging: true, Policy: PolicyPinAll})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +59,7 @@ func TestWholeEnclaveSuspendResume(t *testing.T) {
 
 func TestSuspendWithoutResumeIsDetected(t *testing.T) {
 	m := NewMachine(WithEPCFrames(1024))
-	p, err := m.LoadApp(testImage(8), Config{SelfPaging: true, Policy: PolicyPinAll})
+	p, err := m.Spawn(testImage(8), Config{SelfPaging: true, Policy: PolicyPinAll})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,8 +93,8 @@ func TestSuspendWithoutResumeIsDetected(t *testing.T) {
 
 func TestTwoEnclavesIsolatedPaging(t *testing.T) {
 	m := NewMachine(WithEPCFrames(1024))
-	load := func(name string) *Process {
-		p, err := m.LoadApp(AppImage{
+	load := func(name string) *Proc {
+		p, err := m.Spawn(AppImage{
 			Name:      name,
 			Libraries: []Library{{Name: "lib" + name + ".so", Pages: 2}},
 			HeapPages: 32,
@@ -113,7 +113,7 @@ func TestTwoEnclavesIsolatedPaging(t *testing.T) {
 	if a.Enclave().ID == b.Enclave().ID {
 		t.Fatal("enclave IDs collide")
 	}
-	fill := func(p *Process, tag byte) {
+	fill := func(p *Proc, tag byte) {
 		if err := p.Run(func(ctx *Context) {
 			for i, va := range p.Heap.PageVAs() {
 				ctx.Write(va, []byte{tag, byte(i)})
@@ -122,7 +122,7 @@ func TestTwoEnclavesIsolatedPaging(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	verify := func(p *Process, tag byte) {
+	verify := func(p *Proc, tag byte) {
 		if err := p.Run(func(ctx *Context) {
 			for i, va := range p.Heap.PageVAs() {
 				buf := make([]byte, 2)
@@ -149,9 +149,11 @@ func TestCrossEnclaveBlobConfusionRejected(t *testing.T) {
 	// Sealed pages of one enclave must not restore into another, even at
 	// the same virtual address: the OS swaps the blobs in its store.
 	m := NewMachine(WithEPCFrames(1024))
-	cfg := Config{SelfPaging: true, Policy: PolicyRateLimit, RateLimitBurst: 1 << 30}
-	load := func(name string) *Process {
-		p, err := m.LoadApp(AppImage{
+	// Pin both enclaves to one explicit base: the test premise needs
+	// identical layouts, where Spawn would otherwise place disjoint slots.
+	cfg := Config{SelfPaging: true, Policy: PolicyRateLimit, RateLimitBurst: 1 << 30, Base: DefaultBase}
+	load := func(name string) *Proc {
+		p, err := m.Spawn(AppImage{
 			Name:      name,
 			Libraries: []Library{{Name: "lib.so", Pages: 2}},
 			HeapPages: 16,
@@ -168,7 +170,7 @@ func TestCrossEnclaveBlobConfusionRejected(t *testing.T) {
 		t.Fatal("layouts differ; test premise broken")
 	}
 	// Evict the page from both enclaves via the driver.
-	for _, p := range []*Process{a, b} {
+	for _, p := range []*Proc{a, b} {
 		if _, err := m.Kernel.SetEnclaveManaged(p.Enclave(), []VAddr{target}); err != nil {
 			t.Fatal(err)
 		}
@@ -189,7 +191,7 @@ func TestCrossEnclaveBlobConfusionRejected(t *testing.T) {
 	m.Store.Put(b.Enclave().ID, target, blobA)
 	// Restoring must fail for both: ELDU's sealing check rejects the
 	// foreign blob.
-	for _, p := range []*Process{a, b} {
+	for _, p := range []*Proc{a, b} {
 		if err := m.Kernel.FetchPages(p.Enclave(), []VAddr{target}); err == nil {
 			t.Fatalf("%s accepted a foreign enclave's page blob", p.Image.Name)
 		}
@@ -198,7 +200,7 @@ func TestCrossEnclaveBlobConfusionRejected(t *testing.T) {
 
 func TestSGX2WithClusters(t *testing.T) {
 	m := NewMachine(WithEPCFrames(1024))
-	p, err := m.LoadApp(testImage(64), Config{
+	p, err := m.Spawn(testImage(64), Config{
 		SelfPaging:       true,
 		Policy:           PolicyClusters,
 		DataClusterPages: 8,
@@ -241,8 +243,10 @@ func TestSGX2WithClusters(t *testing.T) {
 }
 
 func TestElidedAEXNeverExitsEnclaveOnFaults(t *testing.T) {
-	m := NewMachine(WithEPCFrames(1024))
-	p, err := m.LoadApp(testImage(64), Config{
+	// Run-to-completion: a scheduler quantum would add timer AEXs, which
+	// this test asserts away (it counts only fault-path exits).
+	m := NewMachine(WithEPCFrames(1024), WithQuantum(0))
+	p, err := m.Spawn(testImage(64), Config{
 		SelfPaging:     true,
 		ElideAEX:       true,
 		Policy:         PolicyRateLimit,
@@ -277,7 +281,7 @@ func TestElidedAEXNeverExitsEnclaveOnFaults(t *testing.T) {
 func TestMeasurementAttestsConfiguration(t *testing.T) {
 	build := func(selfPaging bool) [32]byte {
 		m := NewMachine(WithEPCFrames(256))
-		p, err := m.LoadApp(testImage(8), Config{SelfPaging: selfPaging, Policy: PolicyPinAll})
+		p, err := m.Spawn(testImage(8), Config{SelfPaging: selfPaging, Policy: PolicyPinAll})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -293,7 +297,7 @@ func TestMeasurementAttestsConfiguration(t *testing.T) {
 
 func TestPermissionReductionAttackDetected(t *testing.T) {
 	m := NewMachine(WithEPCFrames(256))
-	p, err := m.LoadApp(testImage(8), Config{SelfPaging: true, Policy: PolicyPinAll})
+	p, err := m.Spawn(testImage(8), Config{SelfPaging: true, Policy: PolicyPinAll})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -312,7 +316,7 @@ func TestPermissionReductionAttackDetected(t *testing.T) {
 
 func TestForwardedFaultsKeepOSManagedPagesWorking(t *testing.T) {
 	m := NewMachine(WithEPCFrames(1024))
-	p, err := m.LoadApp(testImage(64), Config{
+	p, err := m.Spawn(testImage(64), Config{
 		SelfPaging:     true,
 		Policy:         PolicyRateLimit,
 		RateLimitBurst: 1 << 30,

@@ -49,6 +49,13 @@ func determinismCases() []struct {
 	e13 := DefaultE13Params()
 	e13.MaxDepth = 5
 
+	e14 := DefaultE14Params()
+	e14.Conns = 40
+	e14.Requests = 1200
+	e14.HeapPages = 48
+	e14.QuotaPages = 44
+	e14.KeepAlive = 1 << 18
+
 	return []struct {
 		name string
 		run  func() *Table
@@ -69,6 +76,7 @@ func determinismCases() []struct {
 		{"E11", func() *Table { return RunE11(e11).Table() }},
 		{"E12", func() *Table { return RunE12(e12).Table() }},
 		{"E13", func() *Table { return RunE13(e13).Table() }},
+		{"E14", func() *Table { return RunE14(e14).Table() }},
 	}
 }
 

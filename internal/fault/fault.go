@@ -145,6 +145,16 @@ func mix(words ...uint64) uint64 {
 	return h
 }
 
+// Roll decides which fault (if any) hits one operation outside the paging
+// stack. The service layer's frame channel reuses the plan's stateless
+// decision function for its own traffic, keyed on (direction code, cycle,
+// connection, correlation ID) instead of (paging op, cycle, enclave, page);
+// op codes above the package's own (1, 2) keep the decision streams
+// independent of the paging rolls.
+func (p Plan) Roll(op, cycle, key1, key2 uint64) Kind {
+	return p.roll(op, cycle, key1, key2)
+}
+
 // roll decides which fault (if any) hits one operation.
 func (p Plan) roll(op, cycle, enclaveID, vpn uint64) Kind {
 	if p.Zero() {

@@ -1,0 +1,52 @@
+package libos
+
+import "autarky/internal/core"
+
+// Handler is one enclave-resident operation of a servable application: it
+// runs inside the enclave (ctx is the trusted execution context, so every
+// memory touch goes through the self-paging machinery) and maps a request
+// argument to a reply value. A non-nil error becomes an error reply on the
+// wire; errors matching the libOS taxonomy (ErrQuotaExceeded,
+// core.ErrRateLimited) keep their identity across the channel.
+type Handler func(ctx *core.Context, arg uint64) (uint64, error)
+
+// namedHandler keeps registration order: operation numbering on the wire is
+// the registration order, so it must be deterministic.
+type namedHandler struct {
+	name string
+	h    Handler
+}
+
+// Handle registers (or replaces) the handler for op. Registration must
+// finish before the service loop starts serving — the operation table is
+// frozen when the first frame is dispatched. Handlers do not survive a
+// checkpoint/restore; re-register them on the restored process.
+func (p *Process) Handle(op string, h Handler) {
+	for i := range p.handlers {
+		if p.handlers[i].name == op {
+			p.handlers[i].h = h
+			return
+		}
+	}
+	p.handlers = append(p.handlers, namedHandler{name: op, h: h})
+}
+
+// Handler returns the handler registered for op.
+func (p *Process) Handler(op string) (Handler, bool) {
+	for i := range p.handlers {
+		if p.handlers[i].name == op {
+			return p.handlers[i].h, true
+		}
+	}
+	return nil, false
+}
+
+// HandlerNames returns the registered operation names in registration
+// order — the wire numbering of the service protocol.
+func (p *Process) HandlerNames() []string {
+	out := make([]string, len(p.handlers))
+	for i := range p.handlers {
+		out[i] = p.handlers[i].name
+	}
+	return out
+}

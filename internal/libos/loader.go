@@ -104,8 +104,9 @@ type Process struct {
 
 	Alloc *Allocator
 
-	cfg   Config
-	grown int
+	cfg      Config
+	grown    int
+	handlers []namedHandler
 }
 
 // Enclave returns the underlying enclave.

@@ -1,0 +1,162 @@
+package metrics
+
+import (
+	"sort"
+	"testing"
+
+	"autarky/internal/sim"
+)
+
+// oraclePercentile is the definition the histogram must match exactly:
+// nearest-rank over the sorted values, with the histogram's clamping
+// applied first (values >= max live in the final bucket).
+func oraclePercentile(values []uint64, max uint64, q float64) uint64 {
+	clamped := make([]uint64, len(values))
+	for i, v := range values {
+		if v >= max {
+			v = max - 1
+		}
+		clamped[i] = v
+	}
+	sort.Slice(clamped, func(i, j int) bool { return clamped[i] < clamped[j] })
+	n := uint64(len(clamped))
+	rank := uint64(1)
+	if q > 0 {
+		r := q * float64(n)
+		rank = uint64(r)
+		if float64(rank) < r {
+			rank++
+		}
+		if rank < 1 {
+			rank = 1
+		}
+		if rank > n {
+			rank = n
+		}
+	}
+	return clamped[rank-1]
+}
+
+// histRange is the range used by the adversarial distributions; small enough
+// that saturation actually happens, large enough to span many radix pages.
+const histRange = 1 << 16
+
+// adversarialDistributions enumerates value sets chosen to break inexact
+// percentile schemes: point masses, page-boundary straddles, heavy tails,
+// saturation, and dense uniform noise.
+func adversarialDistributions() map[string][]uint64 {
+	r := sim.NewRand(0x415741)
+	uniform := make([]uint64, 10_000)
+	for i := range uniform {
+		uniform[i] = r.Uint64n(histRange)
+	}
+	heavyTail := make([]uint64, 5_000)
+	for i := range heavyTail {
+		// Most values tiny, a few enormous: the shape that exposes
+		// interpolation error in log-bucketed histograms.
+		v := r.Uint64n(64)
+		if r.Uint64n(100) == 0 {
+			v = histRange - 1 - r.Uint64n(512)
+		}
+		heavyTail[i] = v
+	}
+	saturating := make([]uint64, 1_000)
+	for i := range saturating {
+		saturating[i] = histRange - 100 + r.Uint64n(200) // half beyond range
+	}
+	return map[string][]uint64{
+		"single":       {12345},
+		"all-same":     {7, 7, 7, 7, 7, 7, 7, 7, 7},
+		"two-point":    {0, 0, 0, histRange - 1, histRange - 1},
+		"page-borders": {4095, 4096, 4097, 8191, 8192, 0, histRange - 1},
+		"uniform":      uniform,
+		"heavy-tail":   heavyTail,
+		"saturating":   saturating,
+	}
+}
+
+func TestHistogramPercentilesExactAgainstOracle(t *testing.T) {
+	qs := []float64{-1, 0, 0.001, 0.25, 0.5, 0.9, 0.99, 0.999, 0.9999, 1}
+	r := sim.NewRand(0xDEC11E)
+	for i := 0; i < 50; i++ {
+		qs = append(qs, r.Float64())
+	}
+	for name, values := range adversarialDistributions() {
+		h := NewHistogram(histRange)
+		for _, v := range values {
+			h.Record(v)
+		}
+		for _, q := range qs {
+			want := oraclePercentile(values, histRange, q)
+			if got := h.Percentile(q); got != want {
+				t.Errorf("%s: Percentile(%v) = %d, oracle %d", name, q, got, want)
+			}
+		}
+	}
+}
+
+func TestHistogramAggregates(t *testing.T) {
+	h := NewHistogram(histRange)
+	if h.Percentile(0.5) != 0 || h.Count() != 0 || h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatalf("empty histogram must report zeros")
+	}
+	values := []uint64{3, 99, histRange + 500, 7, histRange - 1}
+	var sum uint64
+	for _, v := range values {
+		h.Record(v)
+		sum += v
+	}
+	if h.Count() != uint64(len(values)) {
+		t.Errorf("Count = %d, want %d", h.Count(), len(values))
+	}
+	if h.Sum() != sum {
+		t.Errorf("Sum = %d, want %d", h.Sum(), sum)
+	}
+	if h.Min() != 3 {
+		t.Errorf("Min = %d, want 3", h.Min())
+	}
+	if h.Max() != histRange+500 {
+		t.Errorf("Max = %d, want %d (pre-clamp)", h.Max(), histRange+500)
+	}
+	if h.Saturated() != 1 {
+		t.Errorf("Saturated = %d, want 1", h.Saturated())
+	}
+	if want := float64(sum) / float64(len(values)); h.Mean() != want {
+		t.Errorf("Mean = %v, want %v", h.Mean(), want)
+	}
+}
+
+func TestHistogramMergeMatchesCombinedOracle(t *testing.T) {
+	r := sim.NewRand(0x4E16E)
+	a, b := NewHistogram(histRange), NewHistogram(histRange)
+	var all []uint64
+	for i := 0; i < 4_000; i++ {
+		v := r.Uint64n(histRange + histRange/8) // some saturate
+		all = append(all, v)
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+	}
+	a.Merge(b)
+	for _, q := range []float64{0.01, 0.5, 0.99, 0.999} {
+		if got, want := a.Percentile(q), oraclePercentile(all, histRange, q); got != want {
+			t.Errorf("merged Percentile(%v) = %d, oracle %d", q, got, want)
+		}
+	}
+	if a.Count() != uint64(len(all)) {
+		t.Errorf("merged Count = %d, want %d", a.Count(), len(all))
+	}
+	mergedEmpty := NewHistogram(histRange)
+	mergedEmpty.Merge(a)
+	if mergedEmpty.Min() != a.Min() || mergedEmpty.Max() != a.Max() {
+		t.Errorf("merge into empty lost min/max")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("merging different ranges must panic")
+		}
+	}()
+	a.Merge(NewHistogram(histRange * 2))
+}

@@ -129,6 +129,17 @@ const (
 	CntRestores        // enclaves re-spawned from a checkpoint
 	CntRestoreCycles   // cycles spent inside Machine.Restore
 
+	// Request-serving frontend (internal/service).
+	CntServRequests     // request frames admitted into a connection queue
+	CntServReplies      // replies delivered intact to the client
+	CntServKeepAlives   // keep-alive frames exchanged
+	CntServBackpressure // requests refused because the connection queue was full
+	CntServResets       // connection resets (corrupt/lost frames)
+	CntServCorrupt      // frames that failed their checksum in transit
+	CntServTimeouts     // requests shed because their sojourn passed the deadline
+	CntServDrops        // frames lost in transit or discarded on a reset
+	CntServIdlePolls    // dispatch-loop polls while no frame was due
+
 	// NumCounters is the array size, not a counter.
 	NumCounters
 )
@@ -221,6 +232,16 @@ var counterNames = [NumCounters]string{
 	CntCheckpointPages: "restore.checkpoint_pages",
 	CntRestores:        "restore.restores",
 	CntRestoreCycles:   "restore.cycles",
+
+	CntServRequests:     "serv.requests",
+	CntServReplies:      "serv.replies",
+	CntServKeepAlives:   "serv.keepalives",
+	CntServBackpressure: "serv.backpressure",
+	CntServResets:       "serv.resets",
+	CntServCorrupt:      "serv.corrupt",
+	CntServTimeouts:     "serv.timeouts",
+	CntServDrops:        "serv.drops",
+	CntServIdlePolls:    "serv.idle_polls",
 }
 
 // Name returns the counter's stable wire name.

@@ -59,11 +59,17 @@ const DefaultQuantum = 200_000
 // after recovering it.
 var ErrAborted = errors.New("sched: task aborted")
 
+// ErrStalled is returned by Drive when every task has finished while the
+// stop predicate is still false: no future dispatch can change the machine,
+// so the condition being waited for can never become true.
+var ErrStalled = errors.New("sched: drive stalled with no runnable task")
+
 // yieldKind says why a task handed control back to the dispatch loop.
 type yieldKind int
 
 const (
 	yieldPreempted yieldKind = iota // quantum expired (timer AEX parked it)
+	yieldVoluntary                  // task called Yield (idle, nothing to serve)
 	yieldFinished                   // run function returned
 	yieldPanicked                   // run function panicked; val carries it
 )
@@ -183,8 +189,9 @@ type Scheduler struct {
 	last    *Task // previously dispatched task (switch detection, policy)
 	yield   chan yieldMsg
 
-	waiting  bool
-	overhead uint64
+	waiting   bool
+	voluntary bool // the in-flight AEX is a cooperative Yield, not a preemption
+	overhead  uint64
 }
 
 // New wires a scheduler to the machine behind k and installs it as the
@@ -343,6 +350,9 @@ func (s *Scheduler) step() {
 	case yieldPreempted:
 		msg.task.preemptions++
 		s.m.Inc(metrics.CntSchedPreemptions)
+	case yieldVoluntary:
+		// A cooperative handoff, not a quantum expiration: the slice ends
+		// but no preemption is counted.
 	case yieldFinished:
 		// Task marked itself done before yielding.
 	case yieldPanicked:
@@ -353,11 +363,82 @@ func (s *Scheduler) step() {
 	}
 }
 
+// Yield parks the calling task voluntarily and hands the CPU back to the
+// dispatch loop — the cooperative analogue of a quantum expiration, used by
+// server loops that find their queues empty: instead of burning the rest of
+// the slice busy-polling, the task lets co-tenants run and is redispatched
+// under the ordinary policy. Inside enclave mode the yield is a real
+// voluntary AEX (SSA frame, TLB flush, OS upcall, ERESUME on redispatch);
+// either way the execution stream is parked and restored, but no preemption
+// is counted. Calling Yield outside a dispatched task (e.g. under a direct
+// Process.Run) is a no-op.
+func (s *Scheduler) Yield() {
+	t := s.current
+	if t == nil {
+		return
+	}
+	if _, in := s.cpu.InEnclave(); in {
+		// The AEX exits enclave mode and upcalls OnPreempt underneath the
+		// kernel's timer handler; the flag tells it this slice ended
+		// cooperatively.
+		s.voluntary = true
+		if err := s.cpu.VoluntaryAEX(); err != nil {
+			panic(err)
+		}
+		return
+	}
+	// A host-side task (no enclave entered): park the stream directly.
+	t.saved = s.cpu.SwapContext(sgx.ExecContext{})
+	s.yield <- yieldMsg{task: t, kind: yieldVoluntary}
+	if msg := <-t.resume; msg.abort {
+		panic(abortUnwind{})
+	}
+	s.cpu.SwapContext(t.saved)
+}
+
+// Drive runs the dispatch loop until stop reports true, granting slices to
+// every runnable task — the engine under a blocking client call: submit a
+// request, then Drive until the correlated reply (or a connection reset)
+// shows up. stop is evaluated between dispatches, on the scheduler's
+// goroutine. Drive returns ErrStalled if every task finishes while stop is
+// still false; like Wait, it must not be called from inside a task.
+func (s *Scheduler) Drive(stop func() bool) error {
+	if s.waiting {
+		panic("sched: Drive re-entered (called from inside a scheduled task?)")
+	}
+	s.waiting = true
+	defer func() { s.waiting = false }()
+	defer func() {
+		if r := recover(); r != nil {
+			s.abortAll()
+			panic(r)
+		}
+	}()
+	for !stop() {
+		runnable := false
+		for _, t := range s.tasks {
+			if !t.done {
+				runnable = true
+				break
+			}
+		}
+		if !runnable {
+			s.cpu.PreemptAt = 0
+			return ErrStalled
+		}
+		s.step()
+	}
+	s.cpu.PreemptAt = 0
+	return nil
+}
+
 // OnPreempt implements hostos.Preemptor. It runs on the preempted task's
 // goroutine, underneath the kernel's timer handler: it parks the execution
 // stream and returns only when the task is dispatched again, so the ERESUME
 // the kernel issues next is the context-switch-in.
 func (s *Scheduler) OnPreempt(k *hostos.Kernel, p *hostos.Proc) {
+	voluntary := s.voluntary
+	s.voluntary = false
 	t := s.current
 	if t == nil {
 		// Timer AEX outside a dispatch (e.g. an adversary's TimerInterval on
@@ -367,8 +448,12 @@ func (s *Scheduler) OnPreempt(k *hostos.Kernel, p *hostos.Proc) {
 	if t.proc != nil && p != nil && t.proc != p {
 		return
 	}
+	kind := yieldPreempted
+	if voluntary {
+		kind = yieldVoluntary
+	}
 	t.saved = s.cpu.SwapContext(sgx.ExecContext{})
-	s.yield <- yieldMsg{task: t, kind: yieldPreempted}
+	s.yield <- yieldMsg{task: t, kind: kind}
 	if msg := <-t.resume; msg.abort {
 		panic(abortUnwind{})
 	}

@@ -1,0 +1,104 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+
+	"autarky/internal/core"
+	"autarky/internal/libos"
+)
+
+// Sentinel errors of the service layer. All of them surface wrapped in an
+// *Error carrying the connection coordinates, so errors.Is matches the
+// sentinel and errors.As recovers the context.
+var (
+	// ErrConnReset marks a connection torn down after a frame was corrupted
+	// or lost in transit: the correlation state on both sides is suspect, so
+	// the whole connection resets and queued requests are discarded.
+	ErrConnReset = errors.New("service: connection reset")
+	// ErrBackpressure marks a request refused at admission because the
+	// connection's bounded queue was full — the open-loop overload signal.
+	ErrBackpressure = errors.New("service: connection queue full")
+	// ErrTimeout marks a request shed by the server because its sojourn
+	// exceeded the configured deadline before a handler ran.
+	ErrTimeout = errors.New("service: request deadline exceeded")
+	// ErrClosed marks traffic submitted to a closed server.
+	ErrClosed = errors.New("service: server closed")
+	// ErrUnknownOp marks a request naming an operation no handler was
+	// registered for.
+	ErrUnknownOp = errors.New("service: unknown operation")
+	// ErrAppError is the generic remote-handler failure: the handler
+	// returned an error outside the taxonomy the wire can name.
+	ErrAppError = errors.New("service: handler error")
+)
+
+// Error is the service-layer error envelope: which server, connection and
+// request an operation failed on, wrapping the sentinel (or taxonomy error)
+// saying why. It unwraps, so errors.Is sees through it.
+type Error struct {
+	Server string // server (application image) name
+	Conn   uint32 // connection id
+	Corr   uint64 // correlation id (0 when the failure precedes assignment)
+	Op     string // operation name ("" for connection-level failures)
+	Err    error
+}
+
+func (e *Error) Error() string {
+	if e.Op != "" {
+		return fmt.Sprintf("service %s conn %d op %s corr %d: %v", e.Server, e.Conn, e.Op, e.Corr, e.Err)
+	}
+	return fmt.Sprintf("service %s conn %d: %v", e.Server, e.Conn, e.Err)
+}
+
+func (e *Error) Unwrap() error { return e.Err }
+
+// Wire error codes for error replies. The channel carries bytes, not Go
+// values, so handler errors are folded to a code and re-materialized as the
+// matching sentinel on the client side. Codes are wire format: never renumber.
+const (
+	wireOK uint8 = iota
+	wireUnknownOp
+	wireAppError
+	wireQuota
+	wireRateLimited
+	wireTimeout
+)
+
+// encodeErr folds a handler error into its wire code, preserving the
+// taxonomy sentinels that have one.
+func encodeErr(err error) uint8 {
+	switch {
+	case err == nil:
+		return wireOK
+	case errors.Is(err, ErrUnknownOp):
+		return wireUnknownOp
+	case errors.Is(err, libos.ErrQuotaExceeded):
+		return wireQuota
+	case errors.Is(err, core.ErrRateLimited):
+		return wireRateLimited
+	case errors.Is(err, ErrTimeout):
+		return wireTimeout
+	}
+	return wireAppError
+}
+
+// Err re-materializes a reply frame's wire error code as the sentinel it
+// was folded from (nil for wireOK).
+func (f Frame) Err() error { return decodeErr(f.ErrCode) }
+
+// decodeErr re-materializes a wire code as the sentinel it was folded from.
+func decodeErr(code uint8) error {
+	switch code {
+	case wireOK:
+		return nil
+	case wireUnknownOp:
+		return ErrUnknownOp
+	case wireQuota:
+		return libos.ErrQuotaExceeded
+	case wireRateLimited:
+		return core.ErrRateLimited
+	case wireTimeout:
+		return ErrTimeout
+	}
+	return ErrAppError
+}

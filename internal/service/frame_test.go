@@ -1,0 +1,52 @@
+package service
+
+import "testing"
+
+func TestFrameRoundTrip(t *testing.T) {
+	f := Frame{Kind: FrameRequest, Op: 3, ErrCode: 2, Conn: 77, Corr: 0xDEADBEEF, Arg: 42}
+	var buf [FrameBytes]byte
+	f.EncodeTo(buf[:])
+	got, err := DecodeFrame(buf[:])
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Kind != f.Kind || got.Op != f.Op || got.ErrCode != f.ErrCode ||
+		got.Conn != f.Conn || got.Corr != f.Corr || got.Arg != f.Arg {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, f)
+	}
+}
+
+func TestFrameDetectsEverySingleByteFlip(t *testing.T) {
+	f := Frame{Kind: FrameReply, Op: 1, Conn: 5, Corr: 99, Arg: 1 << 40}
+	var buf [FrameBytes]byte
+	for i := 0; i < FrameBytes; i++ {
+		f.EncodeTo(buf[:])
+		buf[i] ^= 0xff
+		if _, err := DecodeFrame(buf[:]); err == nil {
+			t.Errorf("flip of byte %d went undetected", i)
+		}
+	}
+	if _, err := DecodeFrame(buf[:FrameBytes-1]); err == nil {
+		t.Errorf("short frame went undetected")
+	}
+}
+
+func TestErrCodeRoundTrip(t *testing.T) {
+	for code := uint8(0); code < 8; code++ {
+		err := decodeErr(code)
+		if code == wireOK {
+			if err != nil {
+				t.Errorf("code 0 must decode to nil, got %v", err)
+			}
+			continue
+		}
+		back := encodeErr(err)
+		want := code
+		if code > wireTimeout {
+			want = wireAppError // unknown future codes fold to the generic error
+		}
+		if back != want {
+			t.Errorf("code %d -> %v -> %d, want %d", code, err, back, want)
+		}
+	}
+}

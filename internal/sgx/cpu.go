@@ -511,11 +511,30 @@ func (c *CPU) maybeTimer() error {
 	if !fire {
 		return nil
 	}
+	return c.interruptAEX()
+}
+
+// VoluntaryAEX performs a cooperative asynchronous exit: the enclave's
+// execution stream is parked exactly as a preemption-timer AEX would park
+// it — interrupt SSA frame, AEX charge, TLB flush, OS timer upcall — and
+// resumes via ERESUME when the OS hands the CPU back. Server dispatch loops
+// use it to donate the rest of their slice when their queues are empty.
+// Outside enclave mode it is a no-op.
+func (c *CPU) VoluntaryAEX() error {
+	if c.cur == nil {
+		return nil
+	}
+	return c.interruptAEX()
+}
+
+// interruptAEX is the shared interrupt exit: push an interrupt frame (no
+// exception info), exit enclave mode, upcall the OS timer handler, and
+// expect it to ERESUME.
+func (c *CPU) interruptAEX() error {
 	// The whole preemption — AEX, OS timer work, resume — is fault-path
 	// overhead for attribution purposes.
 	defer c.Clock.SetCategory(c.Clock.SetCategory(sim.CatFault))
 	e, tcs := c.cur, c.curTCS
-	// Timer AEX: push an interrupt frame (no exception info), exit.
 	if err := tcs.pushFrame(SSAFrame{}); err != nil {
 		e.terminate(TerminatePolicy, "SSA stack exhausted on timer")
 		c.clearMode()

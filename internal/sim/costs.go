@@ -65,6 +65,13 @@ type Costs struct {
 	// Paging-backend storage hierarchy (pagestore wrappers).
 	BlobCacheLookup uint64 // index probe in the sealed-blob cache
 	BlobCopy        uint64 // copy one sealed 4 KiB blob between backend levels
+
+	// Request-serving frontend (internal/service): frame marshalling across
+	// the untrusted channel, per-request dispatch bookkeeping, and one idle
+	// poll of the arrival queues.
+	ServFrame    uint64 // encode or decode one 32-byte frame + checksum
+	ServDispatch uint64 // dequeue, correlation and queue bookkeeping per frame
+	ServPoll     uint64 // one empty scan of the connection queues
 }
 
 // DefaultCosts returns the calibrated model used by all experiments.
@@ -122,5 +129,12 @@ func DefaultCosts() Costs {
 		BlobCacheLookup: 60,
 		// …but moving a sealed 4 KiB blob between levels streams the page.
 		BlobCopy: 1100,
+
+		// Frames are 32 bytes + a mixing checksum: a few cache lines of
+		// work per direction. Dispatch touches the queue rings and the
+		// correlation state; an idle poll scans queue heads only.
+		ServFrame:    120,
+		ServDispatch: 180,
+		ServPoll:     400,
 	}
 }

@@ -131,8 +131,8 @@ func WithFallbackStore(spec *BackingStore) Option {
 // checkpoint before the captured pages and progress are replayed into it.
 // The end-to-end cost is attributed in CntRestores / CntRestoreCycles.
 func (m *Machine) Restore(cp *Checkpoint) (*Proc, error) {
-	if m.backendErr != nil {
-		return nil, m.backendErr
+	if m.optErr != nil {
+		return nil, m.optErr
 	}
 	if err := m.ensureSched(); err != nil {
 		return nil, err

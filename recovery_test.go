@@ -20,7 +20,7 @@ func churnImage(heapPages int) AppImage {
 
 // churn stores to every heap data page for the given rounds, reporting
 // progress so rate limiting stays satisfied.
-func churn(p *Process, rounds int) error {
+func churn(p *Proc, rounds int) error {
 	heap := p.Heap.PageVAs()
 	return p.Run(func(ctx *Context) {
 		for r := 0; r < rounds; r++ {
@@ -75,9 +75,9 @@ func TestRetryAbsorbsTransientUnavailability(t *testing.T) {
 	m := NewMachine(WithEPCFrames(512),
 		WithFaultPlan(FaultPlan{Seed: 7, PUnavail: 0.08}),
 		WithRetryPolicy(DefaultRetryPolicy()))
-	p, err := m.LoadApp(churnImage(24), churnConfig())
+	p, err := m.Spawn(churnImage(24), churnConfig())
 	if err != nil {
-		t.Fatalf("LoadApp: %v", err)
+		t.Fatalf("Spawn: %v", err)
 	}
 	if err := churn(p, 6); err != nil {
 		t.Fatalf("workload died despite retry: %v", err)
@@ -96,9 +96,9 @@ func TestFallbackAbsorbsSustainedOutage(t *testing.T) {
 		WithFaultPlan(FaultPlan{Seed: 9, PUnavail: 0.05, OutageCycles: 300_000}),
 		WithRetryPolicy(DefaultRetryPolicy()),
 		WithFallbackStore(nil))
-	p, err := m.LoadApp(churnImage(24), churnConfig())
+	p, err := m.Spawn(churnImage(24), churnConfig())
 	if err != nil {
-		t.Fatalf("LoadApp: %v", err)
+		t.Fatalf("Spawn: %v", err)
 	}
 	if err := churn(p, 6); err != nil {
 		t.Fatalf("workload died despite fallback: %v", err)
@@ -122,9 +122,9 @@ func TestIntegrityFaultTerminatesThroughRecovery(t *testing.T) {
 		WithFaultPlan(FaultPlan{Seed: 3, PCorrupt: 0.2}),
 		WithRetryPolicy(DefaultRetryPolicy()),
 		WithFallbackStore(nil))
-	p, err := m.LoadApp(churnImage(24), churnConfig())
+	p, err := m.Spawn(churnImage(24), churnConfig())
 	if err != nil {
-		t.Fatalf("LoadApp: %v", err)
+		t.Fatalf("Spawn: %v", err)
 	}
 	err = churn(p, 6)
 	if err == nil {
@@ -194,9 +194,9 @@ func TestFaultInjectionIsDeterministic(t *testing.T) {
 		m := NewMachine(WithEPCFrames(512),
 			WithFaultPlan(FaultPlan{Seed: 7, PUnavail: 0.08, PDelay: 0.05, DelayCycles: 1500}),
 			WithRetryPolicy(DefaultRetryPolicy()))
-		p, err := m.LoadApp(churnImage(24), churnConfig())
+		p, err := m.Spawn(churnImage(24), churnConfig())
 		if err != nil {
-			t.Fatalf("LoadApp: %v", err)
+			t.Fatalf("Spawn: %v", err)
 		}
 		if err := churn(p, 6); err != nil {
 			t.Fatalf("workload: %v", err)
@@ -271,7 +271,7 @@ func TestCheckpointRestoreRoundTrip(t *testing.T) {
 
 	// Reference: the same workload, uninterrupted.
 	ma := NewMachine(WithEPCFrames(512))
-	pa, err := ma.LoadApp(img, cfg)
+	pa, err := ma.Spawn(img, cfg)
 	if err != nil {
 		t.Fatalf("LoadApp (reference): %v", err)
 	}
@@ -288,7 +288,7 @@ func TestCheckpointRestoreRoundTrip(t *testing.T) {
 	// blows the fault budget (rate limiting terminates the enclave), then
 	// Restore and the remaining rounds.
 	mb := NewMachine(WithEPCFrames(512))
-	pb, err := mb.LoadApp(img, cfg)
+	pb, err := mb.Spawn(img, cfg)
 	if err != nil {
 		t.Fatalf("LoadApp (crash): %v", err)
 	}

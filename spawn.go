@@ -116,8 +116,8 @@ func (m *Machine) ensureSched() error {
 // Configuration problems — including scheduler ones — are reported as
 // *ConfigError values matching errors.Is(err, ErrBadConfig).
 func (m *Machine) Spawn(img AppImage, cfg Config) (*Proc, error) {
-	if m.backendErr != nil {
-		return nil, m.backendErr
+	if m.optErr != nil {
+		return nil, m.optErr
 	}
 	if err := m.ensureSched(); err != nil {
 		return nil, err
@@ -136,11 +136,12 @@ func (m *Machine) Spawn(img AppImage, cfg Config) (*Proc, error) {
 // Start registers app as the process body and enqueues the process for
 // dispatch. It does not execute anything by itself — the machine advances
 // only while some Proc.Wait (or Machine.WaitAll) drives the dispatch loop —
-// so several processes can be started and then run concurrently. Start
-// panics if the process was already started.
+// so several processes can be started and then run concurrently. A process
+// whose previous run finished may be started again (sequential runs reuse
+// the loaded enclave); Start panics only while a run is still in flight.
 func (p *Proc) Start(app func(*Context)) *Proc {
-	if p.task != nil {
-		panic("autarky: Proc.Start called twice")
+	if p.task != nil && !p.task.Done() {
+		panic("autarky: Proc.Start while a previous run is still active")
 	}
 	proc := p.Process
 	p.task = p.m.sched.Spawn(proc.Image.Name, proc.Config().Priority, proc.Proc, func() error {

@@ -26,6 +26,12 @@
 // the package may not import the wall clock ("time") or the process PRNG
 // ("math/rand"); either would break byte-identical replay of a chaos run.
 //
+// Facade-consuming code (the root package, cmd/, examples/ — tests
+// included) gets an API-deprecation rule: calls to deprecated facade entry
+// points (Machine.LoadApp) are rejected, keeping the repository itself on
+// the supported Spawn/Serve surface while the symbols remain for external
+// users.
+//
 // Exit status is non-zero if any violation is found. Run via `make check`.
 package main
 
@@ -50,6 +56,7 @@ var instrumented = []string{
 	"internal/sched",
 	"internal/fault",
 	"internal/orderly",
+	"internal/service",
 }
 
 // deterministic lists the packages whose behavior must be a pure function
@@ -70,6 +77,30 @@ var forbiddenImports = map[string]string{
 	"time":         "wall clock",
 	"math/rand":    "process-global PRNG",
 	"math/rand/v2": "process-global PRNG",
+}
+
+// deprecatedCalls maps deprecated facade entry points to their replacement.
+// Any in-repo call (tests and examples included) is rejected: the facade
+// keeps the symbols for external compatibility, but the repository itself
+// must exercise only the supported surface.
+var deprecatedCalls = map[string]string{
+	"LoadApp": "Machine.Spawn (or Machine.Serve for request servers)",
+}
+
+// facadeConsumerDirs lists every directory whose code consumes the public
+// facade: the root package, the commands, and the examples. internal/
+// packages sit beneath the facade and never see the deprecated symbols.
+func facadeConsumerDirs() []string {
+	dirs := []string{"."}
+	for _, pattern := range []string{"cmd/*", "examples/*"} {
+		matches, _ := filepath.Glob(pattern)
+		for _, m := range matches {
+			if fi, err := os.Stat(m); err == nil && fi.IsDir() {
+				dirs = append(dirs, m)
+			}
+		}
+	}
+	return dirs
 }
 
 // backendDir holds PagingBackend implementations; only the backend method
@@ -152,6 +183,40 @@ func main() {
 		}
 	}
 
+	// Deprecation rule: facade-consuming code (root package, commands,
+	// examples — tests included) may not call deprecated entry points.
+	for _, dir := range facadeConsumerDirs() {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, nil, 0)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metriclint: %v\n", err)
+			os.Exit(2)
+		}
+		for _, pkg := range pkgs {
+			for name, file := range pkg.Files {
+				rel := filepath.ToSlash(name)
+				ast.Inspect(file, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					sel, ok := call.Fun.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					if repl, bad := deprecatedCalls[sel.Sel.Name]; bad {
+						pos := fset.Position(call.Pos())
+						fmt.Fprintf(os.Stderr,
+							"%s:%d:%d: call to deprecated %s; use %s\n",
+							rel, pos.Line, pos.Column, sel.Sel.Name, repl)
+						violations++
+					}
+					return true
+				})
+			}
+		}
+	}
+
 	// PagingBackend rule: backend method bodies in internal/pagestore must
 	// attribute every cycle, even though the package as a whole is exempt.
 	fset := token.NewFileSet()
@@ -174,7 +239,7 @@ func main() {
 	}
 
 	if violations > 0 {
-		fmt.Fprintf(os.Stderr, "metriclint: %d unattributed Advance call(s)\n", violations)
+		fmt.Fprintf(os.Stderr, "metriclint: %d violation(s)\n", violations)
 		os.Exit(1)
 	}
 }
