@@ -29,20 +29,32 @@ fmt:
 # bench regenerates the paper's evaluation tables as a machine-readable
 # report, stamped with today's date (see README, "Benchmark reports").
 bench: build
-	$(GO) run ./cmd/autarky-bench -format json > BENCH_$$(date +%Y-%m-%d).json
+	$(GO) run ./cmd/autarky-bench -format json -wall > BENCH_$$(date +%Y-%m-%d).json
 	@echo "wrote BENCH_$$(date +%Y-%m-%d).json"
 
 # benchdiff regenerates the report and compares each experiment's total
 # simulated cycles against the newest committed BENCH_*.json baseline; any
-# experiment growing past 10% fails. After an intentional model change,
-# refresh the baseline with `make bench` and commit the new file.
+# experiment growing past 10% fails. It also prints the host wall-clock
+# delta when both reports carry a wall_nanos stamp — informational only,
+# never a failure (wall time measures the simulator, not the model).
+#
+# Baseline refresh workflow: after an INTENTIONAL model change (new costs,
+# new experiment, changed workload), run `make bench` and commit the new
+# date-stamped BENCH_*.json alongside the change; benchdiff always picks
+# the lexicographically newest file. Never refresh to paper over an
+# unexplained cycle regression — deterministic cycles only move when the
+# model does.
 benchdiff: build
-	$(GO) run ./cmd/autarky-bench -format json > /tmp/bench_current.json
+	$(GO) run ./cmd/autarky-bench -format json -wall > /tmp/bench_current.json
 	$(GO) run ./tools/benchdiff /tmp/bench_current.json
 
-# gobench runs the Go micro-benchmarks (the old `make bench`).
+# gobench runs the Go micro-benchmarks (the old `make bench`): the
+# evaluation-table benchmarks in the root package plus the hot-path
+# micro-benchmarks (sealing, TLB-hit translation, cycle charging). The
+# hot paths must report 0 allocs/op; the matching *ZeroAlloc tests gate
+# that in `make test`, so a regression fails CI rather than a bench diff.
 gobench:
-	$(GO) test -bench=. -benchmem -run=^$$ .
+	$(GO) test -bench=. -benchmem -run=^$$ . ./internal/pagestore ./internal/sgx ./internal/sim
 
 # metriclint rejects unattributed Clock.Advance call sites inside the
 # instrumented simulation packages (see DESIGN.md, Observability).

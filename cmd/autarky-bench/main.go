@@ -24,7 +24,9 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"autarky/internal/experiments"
 )
@@ -121,8 +123,38 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jobs := fs.Int("jobs", runtime.NumCPU(), "max concurrent experiment cells; 1 runs strictly sequentially (identical output)")
 	format := fs.String("format", "text", "output format: text or json")
 	budget := fs.Uint64("budget", 0, "per-cell cycle budget; a cell exceeding it reports an error row (0 = unlimited)")
+	wall := fs.Bool("wall", false, "stamp wall_nanos (host generation time) on the JSON report; breaks byte-identity across runs, informational only")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file (for hot-path work; does not affect results)")
+	memprofile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(stderr, "creating cpu profile: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(stderr, "starting cpu profile: %v\n", err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(stderr, "creating mem profile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(stderr, "writing mem profile: %v\n", err)
+			}
+		}()
 	}
 	if *format != "text" && *format != "json" {
 		fmt.Fprintf(stderr, "unknown format %q (want text or json)\n", *format)
@@ -140,6 +172,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	var rep experiments.Report
 	failed := 0
+	start := time.Now()
 	for _, e := range selected {
 		tab, ok := runSafe(e.names[0], *scale, e.run)
 		if !ok {
@@ -149,6 +182,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *format == "json" {
+		// The wall-clock stamp is opt-in: default JSON output is part of
+		// the byte-identical determinism contract, and wall time is the one
+		// quantity that cannot honour it. `make bench`/`make benchdiff`
+		// pass -wall so the committed baselines carry the stamp.
+		if *wall {
+			rep.WallNanos = time.Since(start).Nanoseconds()
+		}
 		if err := rep.WriteJSON(stdout); err != nil {
 			fmt.Fprintf(stderr, "writing report: %v\n", err)
 			return 1

@@ -101,6 +101,8 @@ type fakeBackend struct{ d *fakeDriver }
 func (f fakeBackend) Name() string { return "fake" }
 
 func (f fakeBackend) Evict(enclaveID uint64, va mmu.VAddr, b pagestore.Blob) error {
+	// Evicted ciphertext is caller-owned: copy before retaining.
+	b.Ciphertext = append([]byte(nil), b.Ciphertext...)
 	f.d.blobs[va.VPN()] = b
 	return nil
 }
@@ -120,21 +122,23 @@ func (f fakeBackend) Drop(enclaveID uint64, va mmu.VAddr) error {
 
 func (f fakeBackend) EvictBatch(enclaveID uint64, pages []pagestore.PageBlob) error {
 	for _, pb := range pages {
-		f.d.blobs[pb.VA.VPN()] = pb.Blob
+		b := pb.Blob
+		// Evicted ciphertext is caller-owned: copy before retaining.
+		b.Ciphertext = append([]byte(nil), b.Ciphertext...)
+		f.d.blobs[pb.VA.VPN()] = b
 	}
 	return nil
 }
 
-func (f fakeBackend) FetchBatch(enclaveID uint64, pages []mmu.VAddr) ([]pagestore.Blob, error) {
-	out := make([]pagestore.Blob, len(pages))
+func (f fakeBackend) FetchBatch(enclaveID uint64, pages []mmu.VAddr, out []pagestore.Blob) error {
 	for i, va := range pages {
 		b, ok := f.d.blobs[va.VPN()]
 		if !ok {
-			return nil, pagestore.ErrNotFound
+			return pagestore.ErrNotFound
 		}
 		out[i] = b
 	}
-	return out, nil
+	return nil
 }
 
 func (d *fakeDriver) RestrictPerms(e *sgx.Enclave, va mmu.VAddr, perms mmu.Perms) (mmu.PFN, error) {

@@ -22,10 +22,11 @@ import (
 // plaintext. A page that was never evicted before is simply accepted
 // zero-filled.
 func (r *Runtime) fetchSGX2(pages []mmu.VAddr) error {
-	perms := make([]mmu.Perms, len(pages))
-	for i, va := range pages {
-		perms[i] = r.pages[va.VPN()].perms
+	perms := r.scratch.perms[:0]
+	for _, va := range pages {
+		perms = append(perms, r.pages[va.VPN()].perms)
 	}
+	r.scratch.perms = perms
 	pfns, err := r.Driver.AugPages(r.enclave, pages, perms)
 	if err != nil {
 		return err
@@ -35,17 +36,21 @@ func (r *Runtime) fetchSGX2(pages []mmu.VAddr) error {
 	}
 
 	// Previously evicted pages have sealed blobs outstanding; fetch them all
-	// in one backend pass.
-	var need []mmu.VAddr
+	// in one backend pass, into the runtime's reused blob views.
+	need := r.scratch.need[:0]
 	for _, va := range pages {
 		if r.pages[va.VPN()].version > 0 {
 			need = append(need, va)
 		}
 	}
+	r.scratch.need = need
 	var blobs []pagestore.Blob
 	if len(need) > 0 {
-		blobs, err = r.Driver.Blobs().FetchBatch(r.enclave.ID, need)
-		if err != nil {
+		if cap(r.scratch.blobs) < len(need) {
+			r.scratch.blobs = make([]pagestore.Blob, len(need))
+		}
+		blobs = r.scratch.blobs[:len(need)]
+		if err := r.Driver.Blobs().FetchBatch(r.enclave.ID, need, blobs); err != nil {
 			return fmt.Errorf("core: blobs for %d pages missing: %w", len(need), err)
 		}
 	}
@@ -56,12 +61,15 @@ func (r *Runtime) fetchSGX2(pages []mmu.VAddr) error {
 		pi := r.pages[va.VPN()]
 		var plain []byte
 		if pi.version > 0 {
-			plain, err = sealer.Open(va, pi.version, blobs[j])
+			// Decrypt into the runtime's reused buffer; EACCEPTCOPY consumes
+			// it before the next iteration reuses it.
+			plain, err = sealer.OpenAppend(r.scratch.plain[:0], va, pi.version, blobs[j])
 			j++
 			if err != nil {
 				// Tampered or replayed content: integrity violation.
 				return fmt.Errorf("core: page %s: %w", va, err)
 			}
+			r.scratch.plain = plain[:0]
 			// Software decryption is crypto work, like ELDU's hardware
 			// decrypt-and-verify on the SGXv1 path.
 			r.Clock.ChargeAs(sim.CatCrypto, r.Costs.SWDecryptPage)
@@ -80,7 +88,10 @@ func (r *Runtime) fetchSGX2(pages []mmu.VAddr) error {
 func (r *Runtime) evictSGX2(pages []mmu.VAddr) error {
 	sealer := r.enclave.Sealer()
 
-	pfns := make([]mmu.PFN, len(pages))
+	if cap(r.scratch.pfns) < len(pages) {
+		r.scratch.pfns = make([]mmu.PFN, len(pages))
+	}
+	pfns := r.scratch.pfns[:len(pages)]
 	for i, va := range pages {
 		pi := r.pages[va.VPN()]
 		roPerms := pi.perms &^ mmu.PermWrite
@@ -94,21 +105,41 @@ func (r *Runtime) evictSGX2(pages []mmu.VAddr) error {
 		pfns[i] = pfn
 	}
 
-	batch := make([]pagestore.PageBlob, len(pages))
+	// Seal the whole victim set into one reused arena: each blob is a
+	// full-capacity sub-slice, so SealAppend writes in place and the batch
+	// hands the backend views that stay valid for the duration of the call
+	// (the backend copies if it retains them).
+	sealedLen := sealer.SealedLen()
+	if cap(r.scratch.arena) < len(pages)*sealedLen {
+		r.scratch.arena = make([]byte, len(pages)*sealedLen)
+	}
+	arena := r.scratch.arena[:len(pages)*sealedLen]
+	if cap(r.scratch.batch) < len(pages) {
+		r.scratch.batch = make([]pagestore.PageBlob, len(pages))
+	}
+	batch := r.scratch.batch[:len(pages)]
+	if r.scratch.page == nil {
+		r.scratch.page = make([]byte, mmu.PageSize)
+	}
+	page := r.scratch.page
 	for i, va := range pages {
 		pi := r.pages[va.VPN()]
-		data, err := r.CPU.ReadEnclavePage(va, pfns[i])
-		if err != nil {
+		if err := r.CPU.ReadEnclavePageInto(page, va, pfns[i]); err != nil {
 			return err
 		}
 		pi.version++
 		// Software sealing is crypto work, like EWB's re-encryption.
 		r.Clock.ChargeAs(sim.CatCrypto, r.Costs.SWEncryptPage)
-		blob, err := sealer.Seal(va, pi.version, data)
+		dst := arena[i*sealedLen : i*sealedLen : (i+1)*sealedLen]
+		ct, err := sealer.SealAppend(dst, va, pi.version, page)
 		if err != nil {
 			return err
 		}
-		batch[i] = pagestore.PageBlob{VA: va, Blob: blob}
+		batch[i] = pagestore.PageBlob{VA: va, Blob: pagestore.Blob{
+			Ciphertext: ct,
+			Version:    pi.version,
+			EnclaveID:  r.enclave.ID,
+		}}
 	}
 	if err := r.Driver.Blobs().EvictBatch(r.enclave.ID, batch); err != nil {
 		return err

@@ -68,6 +68,24 @@ type Runtime struct {
 	// eviction policies (A/D bits are architecturally unusable, §5.1.4).
 	fifo []uint64
 
+	// scratch holds the reusable buffers of the hot paging paths. Each
+	// field is owned by exactly one function and valid only within one call;
+	// the paths nest (fetchPages → evictPages → evictSGX2) but never
+	// re-enter the same function, so plain fields suffice.
+	scratch struct {
+		want    []mmu.VAddr          // fetchPages: non-resident subset
+		evict   []mmu.VAddr          // evictPages: resident non-pinned subset
+		victims []mmu.VAddr          // nextFIFOVictims result
+		perms   []mmu.Perms          // fetchSGX2: per-page EAUG permissions
+		need    []mmu.VAddr          // fetchSGX2: previously evicted subset
+		blobs   []pagestore.Blob     // fetchSGX2: FetchBatch output
+		plain   []byte               // fetchSGX2: OpenAppend destination
+		pfns    []mmu.PFN            // evictSGX2: frozen frames
+		batch   []pagestore.PageBlob // evictSGX2: EvictBatch input
+		arena   []byte               // evictSGX2: sealed-blob arena
+		page    []byte               // evictSGX2: plaintext page snapshot
+	}
+
 	progress uint64 // application-reported forward progress (§5.2.4)
 
 	appErr error
@@ -338,7 +356,7 @@ func (r *Runtime) fetchPages(pages []mmu.VAddr) error {
 	// path — is page-movement work unless a nested charge (crypto, policy)
 	// overrides.
 	defer r.Clock.SetCategory(r.Clock.SetCategory(sim.CatPaging))
-	want := make([]mmu.VAddr, 0, len(pages))
+	want := r.scratch.want[:0]
 	for _, va := range pages {
 		pi := r.pages[va.VPN()]
 		if pi == nil {
@@ -348,6 +366,7 @@ func (r *Runtime) fetchPages(pages []mmu.VAddr) error {
 			want = append(want, va.PageBase())
 		}
 	}
+	r.scratch.want = want
 	if len(want) == 0 {
 		return nil
 	}
@@ -406,7 +425,7 @@ func (r *Runtime) fetchPages(pages []mmu.VAddr) error {
 // mechanism and updates tracking.
 func (r *Runtime) evictPages(pages []mmu.VAddr) error {
 	defer r.Clock.SetCategory(r.Clock.SetCategory(sim.CatPaging))
-	out := make([]mmu.VAddr, 0, len(pages))
+	out := r.scratch.evict[:0]
 	for _, va := range pages {
 		pi := r.pages[va.VPN()]
 		if pi == nil || !pi.resident || pi.pinned {
@@ -414,6 +433,7 @@ func (r *Runtime) evictPages(pages []mmu.VAddr) error {
 		}
 		out = append(out, va.PageBase())
 	}
+	r.scratch.evict = out
 	if len(out) == 0 {
 		return nil
 	}
@@ -438,9 +458,11 @@ func (r *Runtime) evictPages(pages []mmu.VAddr) error {
 
 // nextFIFOVictims returns up to n resident, non-pinned pages in FIFO order,
 // compacting stale queue entries as it goes. It is the shared victim source
-// for the demand and rate-limited policies.
+// for the demand and rate-limited policies. The returned slice is runtime
+// scratch, valid until the next call.
 func (r *Runtime) nextFIFOVictims(n int) []mmu.VAddr {
-	var out []mmu.VAddr
+	out := r.scratch.victims[:0]
+	defer func() { r.scratch.victims = out }()
 	keep := r.fifo[:0]
 	for i, vpn := range r.fifo {
 		pi := r.pages[vpn]

@@ -90,7 +90,7 @@ func e9JPEGOverhead(rec *cellRecorder, costs sim.Costs) float64 {
 			for pass := 0; pass < 3; pass++ {
 				for _, va := range p.Heap.PageVAs()[:128] {
 					ctx.Store(va)
-					m.clock.Advance(3500) // per-page pipeline work
+					m.clock.ChargeAmbient(3500) // per-page pipeline work
 				}
 			}
 			cycles = m.clock.Cycles() - t0

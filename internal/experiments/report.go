@@ -80,6 +80,16 @@ func (t *Table) WriteJSON(w io.Writer) error {
 //	             "header": ["col", ...], "rows": [["cell", ...], ...]}]}
 type Report struct {
 	Tables []*Table `json:"tables"`
+
+	// WallNanos is the host wall-clock time spent generating the report,
+	// stamped by cmd/autarky-bench only when -wall is passed (as the
+	// `make bench` / `make benchdiff` targets do). Unlike every other field
+	// it is NOT deterministic — it measures the simulator, not the
+	// simulated machine — so it is opt-in to preserve the byte-identity
+	// contract of default output, and tools may compare it only
+	// informationally (tools/benchdiff prints the delta but never fails on
+	// it).
+	WallNanos int64 `json:"wall_nanos,omitempty"`
 }
 
 // Add appends a table to the report.

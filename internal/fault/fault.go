@@ -161,17 +161,29 @@ func (p Plan) roll(op, cycle, enclaveID, vpn uint64) Kind {
 		return KindNone
 	}
 	u := float64(mix(p.Seed, op, cycle, enclaveID, vpn)>>11) / (1 << 53)
-	for _, c := range []struct {
-		k Kind
-		v float64
-	}{
-		{KindCorrupt, p.PCorrupt}, {KindTruncate, p.PTruncate},
-		{KindReplay, p.PReplay}, {KindUnavail, p.PUnavail}, {KindDelay, p.PDelay},
-	} {
-		if u < c.v {
-			return c.k
-		}
-		u -= c.v
+	// Cumulative bands in declaration order, unrolled: this runs on every
+	// paging operation (and every service frame), so it must not build a
+	// case table per call. Subtraction order matches the probabilities'
+	// declaration order exactly — the float arithmetic, and therefore every
+	// historical decision, is unchanged.
+	if u < p.PCorrupt {
+		return KindCorrupt
+	}
+	u -= p.PCorrupt
+	if u < p.PTruncate {
+		return KindTruncate
+	}
+	u -= p.PTruncate
+	if u < p.PReplay {
+		return KindReplay
+	}
+	u -= p.PReplay
+	if u < p.PUnavail {
+		return KindUnavail
+	}
+	u -= p.PUnavail
+	if u < p.PDelay {
+		return KindDelay
 	}
 	return KindNone
 }
@@ -188,12 +200,17 @@ type Backend struct {
 
 	// history archives every blob evicted through this layer, in arrival
 	// order — the attacker's copy of the traffic, used to serve replays.
+	// Only maintained when the plan can actually replay (PReplay > 0): an
+	// archive no decision ever reads is pure overhead.
 	history map[faultKey][]pagestore.Blob
 
 	// outageUntil is the cycle at which the current sustained outage ends
 	// (see Plan.OutageCycles). It evolves deterministically from the call
 	// sequence, so it preserves the replay guarantee.
 	outageUntil uint64
+
+	// kinds is per-call scratch for FetchBatch's rolled decisions.
+	kinds []Kind
 }
 
 type faultKey struct {
@@ -267,22 +284,23 @@ func (f *Backend) EvictBatch(enclaveID uint64, pages []pagestore.PageBlob) error
 }
 
 // FetchBatch implements PagingBackend, rolling per blob.
-func (f *Backend) FetchBatch(enclaveID uint64, pages []mmu.VAddr) ([]pagestore.Blob, error) {
-	kinds := make([]Kind, len(pages))
-	for i, va := range pages {
-		kinds[i] = f.decide(opFetch, enclaveID, va)
-		if kinds[i] == KindUnavail {
-			return nil, &pagestore.BlobError{EnclaveID: enclaveID, VA: va, Op: "fetch", Err: pagestore.ErrUnavailable}
+func (f *Backend) FetchBatch(enclaveID uint64, pages []mmu.VAddr, out []pagestore.Blob) error {
+	kinds := f.kinds[:0]
+	for _, va := range pages {
+		kind := f.decide(opFetch, enclaveID, va)
+		if kind == KindUnavail {
+			return &pagestore.BlobError{EnclaveID: enclaveID, VA: va, Op: "fetch", Err: pagestore.ErrUnavailable}
 		}
+		kinds = append(kinds, kind)
 	}
-	out, err := f.inner.FetchBatch(enclaveID, pages)
-	if err != nil {
-		return nil, err
+	f.kinds = kinds
+	if err := f.inner.FetchBatch(enclaveID, pages, out); err != nil {
+		return err
 	}
 	for i, va := range pages {
 		out[i] = f.mangle(kinds[i], enclaveID, va, out[i])
 	}
-	return out, nil
+	return nil
 }
 
 // decide rolls one operation's fault and accounts for the kinds that are
@@ -344,8 +362,18 @@ func (f *Backend) mangle(kind Kind, enclaveID uint64, va mmu.VAddr, b pagestore.
 	return b
 }
 
-// archive snapshots an evicted blob into the attacker's copy of the traffic.
+// archive snapshots an evicted blob into the attacker's copy of the
+// traffic. The snapshot copies the ciphertext — evict-side buffers belong
+// to the caller only for the duration of the call — and is skipped entirely
+// when the plan never replays: KindReplay is the only reader of the
+// history, so an unreplayed archive is unobservable.
 func (f *Backend) archive(enclaveID uint64, va mmu.VAddr, b pagestore.Blob) {
+	if f.plan.PReplay == 0 {
+		return
+	}
+	ct := make([]byte, len(b.Ciphertext))
+	copy(ct, b.Ciphertext)
+	b.Ciphertext = ct
 	k := faultKey{enclaveID, va.VPN()}
 	f.history[k] = append(f.history[k], b)
 }

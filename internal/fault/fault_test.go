@@ -89,7 +89,7 @@ func TestBackendInjectsDeterministically(t *testing.T) {
 		f := NewBackend(pagestore.NewStore(), Plan{Seed: 5, PUnavail: 0.4}, clock)
 		var outcomes []string
 		for i := 0; i < 50; i++ {
-			clock.Advance(97) // distinct cycle per op, so decisions vary
+			clock.ChargeAmbient(97) // distinct cycle per op, so decisions vary
 			err := f.Evict(enclaveID, va, seal(t, enclaveID, va, uint64(i), byte(i)))
 			if err != nil {
 				outcomes = append(outcomes, "evict-unavail")
@@ -140,7 +140,7 @@ func TestOutageOutlivesSingleRoll(t *testing.T) {
 		t.Fatalf("first fetch: %v", err)
 	}
 	// Inside the armed window every operation is refused without re-rolling.
-	clock.Advance(9_999)
+	clock.ChargeAmbient(9_999)
 	if err := f.Evict(1, va, seal(t, 1, va, 1, 0xAB)); !errors.Is(err, pagestore.ErrUnavailable) {
 		t.Fatalf("inside outage window: %v", err)
 	}
@@ -150,7 +150,8 @@ func TestMangleCorruptTruncateReplay(t *testing.T) {
 	const enclaveID = 1
 	va := mmu.VAddr(0x3000)
 	clock := sim.NewClock()
-	f := NewBackend(pagestore.NewStore(), Plan{Seed: 1}, clock)
+	// PReplay must be non-zero for the backend to archive history at all.
+	f := NewBackend(pagestore.NewStore(), Plan{Seed: 1, PReplay: 0.1}, clock)
 	old := seal(t, enclaveID, va, 1, 0x01)
 	cur := seal(t, enclaveID, va, 2, 0x02)
 	f.archive(enclaveID, va, old)

@@ -267,24 +267,45 @@ func (d driverBackend) Drop(enclaveID uint64, va mmu.VAddr) error {
 	return d.k.backend.Drop(enclaveID, va.PageBase())
 }
 
-// EvictBatch implements pagestore.PagingBackend.
+// EvictBatch implements pagestore.PagingBackend. Addresses arriving from
+// the paging paths are already page-aligned, so the common case passes the
+// batch through without building a normalized copy.
 func (d driverBackend) EvictBatch(enclaveID uint64, pages []pagestore.PageBlob) error {
+	aligned := true
+	for i := range pages {
+		d.k.chargeCall()
+		if pages[i].VA.Offset() != 0 {
+			aligned = false
+		}
+	}
+	if aligned {
+		return d.k.backend.EvictBatch(enclaveID, pages)
+	}
 	norm := make([]pagestore.PageBlob, len(pages))
 	for i, pb := range pages {
-		d.k.chargeCall()
 		norm[i] = pagestore.PageBlob{VA: pb.VA.PageBase(), Blob: pb.Blob}
 	}
 	return d.k.backend.EvictBatch(enclaveID, norm)
 }
 
-// FetchBatch implements pagestore.PagingBackend.
-func (d driverBackend) FetchBatch(enclaveID uint64, pages []mmu.VAddr) ([]pagestore.Blob, error) {
+// FetchBatch implements pagestore.PagingBackend, with the same
+// pass-through-when-aligned fast path as EvictBatch.
+func (d driverBackend) FetchBatch(enclaveID uint64, pages []mmu.VAddr, out []pagestore.Blob) error {
+	aligned := true
+	for _, va := range pages {
+		d.k.chargeCall()
+		if va.Offset() != 0 {
+			aligned = false
+		}
+	}
+	if aligned {
+		return d.k.backend.FetchBatch(enclaveID, pages, out)
+	}
 	norm := make([]mmu.VAddr, len(pages))
 	for i, va := range pages {
-		d.k.chargeCall()
 		norm[i] = va.PageBase()
 	}
-	return d.k.backend.FetchBatch(enclaveID, norm)
+	return d.k.backend.FetchBatch(enclaveID, norm, out)
 }
 
 // RestrictPerms EMODPRs the page to the given permissions (with the TLB

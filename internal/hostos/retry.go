@@ -140,16 +140,8 @@ func (r *RetryBackend) EvictBatch(enclaveID uint64, pages []pagestore.PageBlob) 
 	return r.do(func() error { return r.inner.EvictBatch(enclaveID, pages) })
 }
 
-// FetchBatch implements pagestore.PagingBackend.
-func (r *RetryBackend) FetchBatch(enclaveID uint64, pages []mmu.VAddr) ([]pagestore.Blob, error) {
-	var out []pagestore.Blob
-	err := r.do(func() error {
-		var e error
-		out, e = r.inner.FetchBatch(enclaveID, pages)
-		return e
-	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
+// FetchBatch implements pagestore.PagingBackend. A retried batch simply
+// refills out.
+func (r *RetryBackend) FetchBatch(enclaveID uint64, pages []mmu.VAddr, out []pagestore.Blob) error {
+	return r.do(func() error { return r.inner.FetchBatch(enclaveID, pages, out) })
 }

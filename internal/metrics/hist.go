@@ -33,6 +33,11 @@ type Histogram struct {
 	max   uint64 // values >= max clamp into the last bucket
 	pages []*histPage
 
+	// pageCount mirrors the per-page sum of bucket counts, so percentile
+	// recovery can step over a whole page in one comparison instead of
+	// scanning its 4096 buckets.
+	pageCount []uint64
+
 	count     uint64
 	sum       uint64
 	min       uint64
@@ -49,8 +54,9 @@ func NewHistogram(max uint64) *Histogram {
 	}
 	npages := (max + histPageSize - 1) / histPageSize
 	return &Histogram{
-		max:   npages * histPageSize,
-		pages: make([]*histPage, npages),
+		max:       npages * histPageSize,
+		pages:     make([]*histPage, npages),
+		pageCount: make([]uint64, npages),
 	}
 }
 
@@ -75,6 +81,7 @@ func (h *Histogram) Record(v uint64) {
 		h.pages[v>>histPageBits] = pg
 	}
 	pg[v&(histPageSize-1)]++
+	h.pageCount[v>>histPageBits]++
 }
 
 // Count reports how many values were recorded.
@@ -130,6 +137,11 @@ func (h *Histogram) Percentile(q float64) uint64 {
 	}
 	var seen uint64
 	for pi, pg := range h.pages {
+		// Step over whole pages until the target rank falls inside one.
+		if n := h.pageCount[pi]; seen+n < rank {
+			seen += n
+			continue
+		}
 		if pg == nil {
 			continue
 		}
@@ -178,5 +190,6 @@ func (h *Histogram) Merge(o *Histogram) {
 		for bi, c := range opg {
 			pg[bi] += c
 		}
+		h.pageCount[pi] += o.pageCount[pi]
 	}
 }

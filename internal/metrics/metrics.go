@@ -260,17 +260,28 @@ type Metrics struct {
 	counters [NumCounters]uint64
 }
 
+// MeterName implements sim.Meter, typing the registry's attachment to the
+// clock.
+func (m *Metrics) MeterName() string { return "metrics.Metrics" }
+
 // Of returns the registry attached to the machine owning clock, creating
 // and attaching one on first use. Components cache the result at
 // construction time; machine construction is single-goroutine, so the
-// lazy attach involves no synchronization.
+// lazy attach involves no synchronization. A clock carrying a meter that
+// is not a *Metrics is a wiring bug — two registries racing over one
+// machine would split its counters — so Of panics rather than silently
+// replacing it.
 func Of(clock *sim.Clock) *Metrics {
-	if m, ok := clock.Meter().(*Metrics); ok {
+	switch attached := clock.Meter().(type) {
+	case *Metrics:
+		return attached
+	case nil:
+		m := &Metrics{clock: clock}
+		clock.SetMeter(m)
 		return m
+	default:
+		panic(fmt.Sprintf("metrics: clock already carries a foreign meter %q", attached.MeterName()))
 	}
-	m := &Metrics{clock: clock}
-	clock.SetMeter(m)
-	return m
 }
 
 // Inc increments a counter by one.

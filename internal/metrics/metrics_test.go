@@ -27,13 +27,13 @@ func TestAttributionInvariantByConstruction(t *testing.T) {
 	clock := sim.NewClock()
 	m := Of(clock)
 
-	clock.Advance(100) // ambient compute
+	clock.ChargeAmbient(100) // ambient compute
 	clock.ChargeAs(sim.CatCrypto, 7)
 	prev := clock.SetCategory(sim.CatFault)
-	clock.Advance(30)
+	clock.ChargeAmbient(30)
 	clock.ChargeAmbient(5) // inherits the fault scope
 	clock.SetCategory(prev)
-	clock.Advance(8)
+	clock.ChargeAmbient(8)
 
 	s := m.Snapshot()
 	if s.Cycles != 150 {
@@ -94,7 +94,7 @@ func TestSnapshotJSONDeterministicAndRoundTrips(t *testing.T) {
 	m := Of(clock)
 	clock.ChargeAs(sim.CatPaging, 1000)
 	clock.ChargeAs(sim.CatCrypto, 500)
-	clock.Advance(2500)
+	clock.ChargeAmbient(2500)
 	m.Add(CntEWB, 12)
 	m.Add(CntTLBMisses, 7)
 	m.Inc(CntEnters)

@@ -18,6 +18,7 @@ type TLBEntry struct {
 	enclaveID uint64 // 0 for non-enclave translations
 	writable  bool   // D bit was set at fill time; stores may reuse the entry
 	lastUse   uint64 // LRU stamp
+	epoch     uint64 // flush epoch at fill time; stale epoch means flushed
 }
 
 // TLB is a set-associative translation lookaside buffer. SGX flushes it on
@@ -30,6 +31,12 @@ type TLB struct {
 	clock   *sim.Clock
 	costs   *sim.Costs
 	m       *metrics.Metrics
+
+	// epoch implements O(1) full flushes: entries are live only when their
+	// fill epoch matches, so FlushAll just bumps the counter instead of
+	// touching every way. SGX flushes on every enclave crossing, which made
+	// the eager loop one of the hottest paths in the whole simulator.
+	epoch uint64
 
 	// Statistics.
 	Hits    uint64
@@ -64,6 +71,11 @@ func (t *TLB) set(vpn uint64) []TLBEntry {
 	return t.sets[vpn&uint64(t.nsets-1)]
 }
 
+// live reports whether an entry survived the most recent full flush.
+func (t *TLB) live(e *TLBEntry) bool {
+	return e.valid && e.epoch == t.epoch
+}
+
 // Lookup searches for a cached translation admitting the access. A store
 // through an entry whose D bit was clear at fill time misses (hardware must
 // re-walk to set D), matching x86 behaviour and preserving the dirty-bit
@@ -76,7 +88,7 @@ func (t *TLB) Lookup(va VAddr, at AccessType) (*TLBEntry, bool) {
 	set := t.set(vpn)
 	for i := range set {
 		e := &set[i]
-		if e.valid && e.vpn == vpn && e.perms.Allows(at) {
+		if t.live(e) && e.vpn == vpn && e.perms.Allows(at) {
 			if at == AccessWrite && !e.writable {
 				break // must re-walk to set the dirty bit
 			}
@@ -98,7 +110,7 @@ func (t *TLB) Fill(va VAddr, pte PTE, enclaveID uint64, writable bool) {
 	set := t.set(vpn)
 	victim := 0
 	for i := range set {
-		if !set[i].valid {
+		if !t.live(&set[i]) {
 			victim = i
 			break
 		}
@@ -116,18 +128,16 @@ func (t *TLB) Fill(va VAddr, pte PTE, enclaveID uint64, writable bool) {
 		enclaveID: enclaveID,
 		writable:  writable,
 		lastUse:   t.useTick,
+		epoch:     t.epoch,
 	}
 	t.Fills++
 	t.m.Inc(metrics.CntTLBFills)
 }
 
-// FlushAll invalidates every entry (enclave entry/exit).
+// FlushAll invalidates every entry (enclave entry/exit). It is O(1): the
+// flush epoch advances and every existing entry becomes stale.
 func (t *TLB) FlushAll() {
-	for _, set := range t.sets {
-		for i := range set {
-			set[i].valid = false
-		}
-	}
+	t.epoch++
 	t.Flushes++
 	t.m.Inc(metrics.CntTLBFlushes)
 	// Flushes ride on enclave transitions; the ambient category is the
@@ -140,7 +150,7 @@ func (t *TLB) Invalidate(va VAddr) {
 	vpn := va.VPN()
 	set := t.set(vpn)
 	for i := range set {
-		if set[i].valid && set[i].vpn == vpn {
+		if t.live(&set[i]) && set[i].vpn == vpn {
 			set[i].valid = false
 		}
 	}

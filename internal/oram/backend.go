@@ -132,25 +132,24 @@ func (b *Backend) EvictBatch(enclaveID uint64, pages []pagestore.PageBlob) error
 }
 
 // FetchBatch implements pagestore.PagingBackend, mirroring EvictBatch.
-func (b *Backend) FetchBatch(enclaveID uint64, pages []mmu.VAddr) ([]pagestore.Blob, error) {
+func (b *Backend) FetchBatch(enclaveID uint64, pages []mmu.VAddr, out []pagestore.Blob) error {
 	for _, va := range pages {
 		id, ok := b.ids[pageKey{enclaveID, va.VPN()}]
 		if !ok {
 			continue // inner backend decides whether the page exists
 		}
 		if _, err := b.o.Access(id, false, nil); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	blobs, err := b.inner.FetchBatch(enclaveID, pages)
-	if err != nil {
-		return nil, err
+	if err := b.inner.FetchBatch(enclaveID, pages, out); err != nil {
+		return err
 	}
-	for _, blob := range blobs {
+	for i := range pages {
 		b.meter.Inc(metrics.CntBackendLoads)
-		b.meter.Add(metrics.CntBackendBytes, uint64(len(blob.Ciphertext)))
+		b.meter.Add(metrics.CntBackendBytes, uint64(len(out[i].Ciphertext)))
 	}
-	return blobs, nil
+	return nil
 }
 
 // assign returns the page's ORAM block id, allocating one on first use.

@@ -26,6 +26,15 @@ import "autarky/internal/mmu"
 //     sealing layer alone guarantees confidentiality, integrity and
 //     freshness. A backend that loses or reorders blobs is indistinguishable
 //     from an attacker and is caught by the unseal checks upstream.
+//   - Buffer ownership: the ciphertext of a blob passed to Evict/EvictBatch
+//     belongs to the caller and is valid only for the duration of the call —
+//     callers seal into reused arenas, so a backend that retains a blob
+//     beyond the call (a store slot, a cache entry, an attack archive) must
+//     copy it. Symmetrically, the ciphertext of a blob returned by
+//     Fetch/FetchBatch belongs to the backend and is valid only until the
+//     next operation on the backend stack; callers must unseal (or copy)
+//     before issuing another backend call. This is what lets the hot paging
+//     paths move sealed pages without allocating per blob.
 //
 // Evict stores the sealed blob for (enclave, page); Fetch returns the most
 // recent blob stored for it (ErrNotFound if none); Drop discards the blob
@@ -45,8 +54,11 @@ type PagingBackend interface {
 	Drop(enclaveID uint64, va mmu.VAddr) error
 	// EvictBatch stores a whole victim set in one pipelined pass.
 	EvictBatch(enclaveID uint64, pages []PageBlob) error
-	// FetchBatch returns the blobs for the given pages, in argument order.
-	FetchBatch(enclaveID uint64, pages []mmu.VAddr) ([]Blob, error)
+	// FetchBatch fills out[i] with the blob for pages[i]. out must be at
+	// least len(pages) long; the caller provides (and reuses) it so batch
+	// fetches move no slice headers through the heap. On error the contents
+	// of out are unspecified.
+	FetchBatch(enclaveID uint64, pages []mmu.VAddr, out []Blob) error
 }
 
 // PageBlob pairs one page address with its sealed contents for batch
@@ -93,14 +105,13 @@ func (st *Store) EvictBatch(enclaveID uint64, pages []PageBlob) error {
 // FetchBatch implements PagingBackend. A missing blob is reported with its
 // key attached (BlobError), so the caller knows which page of the batch
 // failed.
-func (st *Store) FetchBatch(enclaveID uint64, pages []mmu.VAddr) ([]Blob, error) {
-	out := make([]Blob, len(pages))
+func (st *Store) FetchBatch(enclaveID uint64, pages []mmu.VAddr, out []Blob) error {
 	for i, va := range pages {
 		b, err := st.Get(enclaveID, va)
 		if err != nil {
-			return nil, wrapBlobErr(err, "fetch", enclaveID, va)
+			return wrapBlobErr(err, "fetch", enclaveID, va)
 		}
 		out[i] = b
 	}
-	return out, nil
+	return nil
 }

@@ -59,10 +59,10 @@ func TestFetchBatchReportsFailingPage(t *testing.T) {
 	}
 	missing := mmu.VAddr(0x3000)
 
-	if _, err := st.FetchBatch(1, present); err != nil {
+	if err := st.FetchBatch(1, present, make([]Blob, len(present))); err != nil {
 		t.Fatalf("batch of present pages failed: %v", err)
 	}
-	_, err = st.FetchBatch(1, []mmu.VAddr{present[0], missing, present[1]})
+	err = st.FetchBatch(1, []mmu.VAddr{present[0], missing, present[1]}, make([]Blob, 3))
 	if err == nil {
 		t.Fatal("batch with a missing page succeeded")
 	}

@@ -23,6 +23,11 @@ import (
 //
 // The cache lives in untrusted memory and holds only sealed blobs; it needs
 // no trust because the sealing layer authenticates whatever comes back.
+//
+// Per the PagingBackend ownership contract the cache copies every blob it
+// retains. Ciphertext buffers are recycled through a free list as entries
+// are written back, so a cache in steady state allocates nothing per
+// eviction.
 type CachedBackend struct {
 	inner    PagingBackend
 	capacity int
@@ -32,6 +37,16 @@ type CachedBackend struct {
 
 	entries map[storeKey]*list.Element
 	lru     *list.List // front = most recent; back = next write-back victim
+
+	// freeBufs recycles ciphertext buffers of written-back entries into new
+	// inserts. Scratch below is reused across batch calls; contents are only
+	// valid within one call.
+	freeBufs [][]byte
+	overflow []cacheEntry
+	runBuf   []PageBlob
+	missVAs  []mmu.VAddr
+	missIdx  []int
+	missBufs []Blob
 }
 
 type cacheEntry struct {
@@ -109,6 +124,7 @@ func (c *CachedBackend) Drop(enclaveID uint64, va mmu.VAddr) error {
 	if el, ok := c.entries[k]; ok {
 		c.lru.Remove(el)
 		delete(c.entries, k)
+		c.freeBufs = append(c.freeBufs, el.Value.(*cacheEntry).blob.Ciphertext[:0])
 	}
 	return c.inner.Drop(enclaveID, va)
 }
@@ -119,7 +135,7 @@ func (c *CachedBackend) Drop(enclaveID uint64, va mmu.VAddr) error {
 // same-enclave runs. (Overflow can belong to a different enclave than the
 // batch being evicted when co-resident enclaves share the backend.)
 func (c *CachedBackend) EvictBatch(enclaveID uint64, pages []PageBlob) error {
-	var overflow []cacheEntry
+	overflow := c.overflow[:0]
 	for _, pb := range pages {
 		c.clock.ChargeAs(sim.CatPaging, c.costs.BlobCacheLookup)
 		c.meter.Inc(metrics.CntBackendStores)
@@ -129,6 +145,7 @@ func (c *CachedBackend) EvictBatch(enclaveID uint64, pages []PageBlob) error {
 			overflow = append(overflow, c.popVictim())
 		}
 	}
+	c.overflow = overflow
 	if len(overflow) == 0 {
 		return nil
 	}
@@ -138,24 +155,29 @@ func (c *CachedBackend) EvictBatch(enclaveID uint64, pages []PageBlob) error {
 		for end < len(overflow) && overflow[end].key.enclaveID == overflow[start].key.enclaveID {
 			end++
 		}
-		run := make([]PageBlob, 0, end-start)
+		run := c.runBuf[:0]
 		for _, ent := range overflow[start:end] {
 			run = append(run, PageBlob{VA: mmu.PageOf(ent.key.vpn), Blob: ent.blob})
 		}
+		c.runBuf = run
 		if err := c.inner.EvictBatch(overflow[start].key.enclaveID, run); err != nil {
 			return err
 		}
 		start = end
+	}
+	// The inner backend copied everything it kept; the popped entries'
+	// buffers are free to back future inserts.
+	for i := range overflow {
+		c.freeBufs = append(c.freeBufs, overflow[i].blob.Ciphertext[:0])
 	}
 	return nil
 }
 
 // FetchBatch implements PagingBackend: hits come straight from the cache
 // and only the misses travel to the inner backend, as one batch.
-func (c *CachedBackend) FetchBatch(enclaveID uint64, pages []mmu.VAddr) ([]Blob, error) {
-	out := make([]Blob, len(pages))
-	var missVAs []mmu.VAddr
-	var missIdx []int
+func (c *CachedBackend) FetchBatch(enclaveID uint64, pages []mmu.VAddr, out []Blob) error {
+	missVAs := c.missVAs[:0]
+	missIdx := c.missIdx[:0]
 	for i, va := range pages {
 		c.clock.ChargeAs(sim.CatPaging, c.costs.BlobCacheLookup)
 		c.meter.Inc(metrics.CntBackendLoads)
@@ -169,12 +191,16 @@ func (c *CachedBackend) FetchBatch(enclaveID uint64, pages []mmu.VAddr) ([]Blob,
 		missVAs = append(missVAs, va)
 		missIdx = append(missIdx, i)
 	}
+	c.missVAs, c.missIdx = missVAs, missIdx
 	if len(missVAs) == 0 {
-		return out, nil
+		return nil
 	}
-	fetched, err := c.inner.FetchBatch(enclaveID, missVAs)
-	if err != nil {
-		return nil, err
+	if cap(c.missBufs) < len(missVAs) {
+		c.missBufs = make([]Blob, len(missVAs))
+	}
+	fetched := c.missBufs[:len(missVAs)]
+	if err := c.inner.FetchBatch(enclaveID, missVAs, fetched); err != nil {
+		return err
 	}
 	c.clock.ChargeAs(sim.CatPaging, uint64(len(fetched))*c.costs.BlobCopy)
 	for j, b := range fetched {
@@ -182,20 +208,31 @@ func (c *CachedBackend) FetchBatch(enclaveID uint64, pages []mmu.VAddr) ([]Blob,
 		c.meter.Inc(metrics.CntBackendMisses)
 		c.meter.Add(metrics.CntBackendBytes, uint64(len(b.Ciphertext)))
 	}
-	return out, nil
+	return nil
 }
 
 // Len reports how many blobs the cache currently holds (tests only).
 func (c *CachedBackend) Len() int { return c.lru.Len() }
 
-// insert places (or refreshes) a blob at the MRU position. The caller is
-// responsible for flushing any resulting overflow.
+// insert places (or refreshes) a blob at the MRU position, copying the
+// ciphertext into cache-owned storage (reusing the entry's existing buffer
+// on overwrite, a recycled one otherwise). The caller is responsible for
+// flushing any resulting overflow.
 func (c *CachedBackend) insert(k storeKey, b Blob) {
 	if el, ok := c.entries[k]; ok {
-		el.Value.(*cacheEntry).blob = b
+		ent := el.Value.(*cacheEntry)
+		ent.blob.Ciphertext = append(ent.blob.Ciphertext[:0], b.Ciphertext...)
+		ent.blob.Version = b.Version
+		ent.blob.EnclaveID = b.EnclaveID
 		c.lru.MoveToFront(el)
 		return
 	}
+	var buf []byte
+	if n := len(c.freeBufs); n > 0 {
+		buf = c.freeBufs[n-1]
+		c.freeBufs = c.freeBufs[:n-1]
+	}
+	b.Ciphertext = append(buf, b.Ciphertext...)
 	c.entries[k] = c.lru.PushFront(&cacheEntry{key: k, blob: b})
 }
 
@@ -217,6 +254,7 @@ func (c *CachedBackend) writeBackOverflow() error {
 		if err := c.inner.Evict(ent.key.enclaveID, mmu.PageOf(ent.key.vpn), ent.blob); err != nil {
 			return err
 		}
+		c.freeBufs = append(c.freeBufs, ent.blob.Ciphertext[:0])
 	}
 	return nil
 }

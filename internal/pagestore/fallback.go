@@ -119,22 +119,23 @@ func (fb *FallbackBackend) EvictBatch(enclaveID uint64, pages []PageBlob) error 
 // FetchBatch implements PagingBackend: the primary serves the batch when it
 // can; on an outage (or a missing blob) the pages are re-fetched one by one
 // through the per-page fallback path, so a single unavailable blob does not
-// fail the whole batch.
-func (fb *FallbackBackend) FetchBatch(enclaveID uint64, pages []mmu.VAddr) ([]Blob, error) {
-	out, err := fb.primary.FetchBatch(enclaveID, pages)
+// fail the whole batch. Filling out across successive Fetch calls is safe:
+// fetches never recycle or overwrite backend-held buffers (only evictions
+// and drops do), so earlier entries stay intact while later pages resolve.
+func (fb *FallbackBackend) FetchBatch(enclaveID uint64, pages []mmu.VAddr, out []Blob) error {
+	err := fb.primary.FetchBatch(enclaveID, pages, out)
 	if err == nil {
-		return out, nil
+		return nil
 	}
 	if !fallsBack(err) {
-		return nil, err
+		return err
 	}
-	out = make([]Blob, len(pages))
 	for i, va := range pages {
 		b, ferr := fb.Fetch(enclaveID, va)
 		if ferr != nil {
-			return nil, wrapBlobErr(ferr, "fetch", enclaveID, va)
+			return wrapBlobErr(ferr, "fetch", enclaveID, va)
 		}
 		out[i] = b
 	}
-	return out, nil
+	return nil
 }

@@ -40,9 +40,23 @@ func FuzzUnseal(f *testing.F) {
 	corrupt[0] ^= 0xFF
 	f.Add(corrupt, uint64(version), uint64(enclaveID)) // flipped ciphertext byte
 
+	// reuse persists across fuzz iterations so OpenAppend sees a dirty,
+	// previously written dst on every call after the first — the buffer
+	// reuse pattern of the paging hot path.
+	var reuse []byte
 	f.Fuzz(func(t *testing.T, ct []byte, advVersion, advEnclave uint64) {
 		b := Blob{Ciphertext: ct, Version: advVersion, EnclaveID: advEnclave}
 		out, err := sealer.Open(va, version, b)
+		reused, reuseErr := sealer.OpenAppend(reuse[:0], va, version, b)
+		if reused != nil {
+			reuse = reused[:0]
+		}
+		if (err == nil) != (reuseErr == nil) {
+			t.Fatalf("Open and dst-reusing OpenAppend disagree: %v vs %v", err, reuseErr)
+		}
+		if err == nil && !bytes.Equal(out, reused) {
+			t.Fatal("dst-reusing OpenAppend produced different plaintext")
+		}
 		if err != nil {
 			if !errors.Is(err, ErrIntegrity) {
 				t.Fatalf("Open returned a non-integrity error: %v", err)

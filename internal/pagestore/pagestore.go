@@ -108,9 +108,20 @@ type Blob struct {
 // Sealer seals and opens pages for one enclave. It is trusted state: in the
 // EWB/ELDU model it lives inside the CPU; in the SGXv2 software model it
 // lives inside the enclave runtime.
+//
+// A Sealer is not safe for concurrent use: the nonce and AAD scratch below
+// is reused across calls so the hot paging paths never allocate for header
+// material. Every enclave owns its own Sealer, and the simulation is
+// single-threaded per machine, so this costs nothing in practice.
 type Sealer struct {
 	aead      cipher.AEAD
 	enclaveID uint64
+
+	// Reusable header scratch. The AEAD reads nonce and additional data
+	// during the call and never retains them, so handing out views of these
+	// arrays is safe.
+	nonceBuf [12]byte
+	aadBuf   [24]byte
 }
 
 // NewSealer derives a sealing key for the enclave from a root secret.
@@ -135,40 +146,69 @@ func NewSealer(rootSecret []byte, enclaveID uint64) (*Sealer, error) {
 }
 
 func (s *Sealer) nonce(va mmu.VAddr, version uint64) []byte {
-	n := make([]byte, 12)
+	n := s.nonceBuf[:]
 	binary.LittleEndian.PutUint32(n[0:4], uint32(va.VPN()))
 	binary.LittleEndian.PutUint64(n[4:12], version)
 	return n
 }
 
 func (s *Sealer) aad(va mmu.VAddr, version uint64) []byte {
-	a := make([]byte, 24)
+	a := s.aadBuf[:]
 	binary.LittleEndian.PutUint64(a[0:8], s.enclaveID)
 	binary.LittleEndian.PutUint64(a[8:16], uint64(va.PageBase()))
 	binary.LittleEndian.PutUint64(a[16:24], version)
 	return a
 }
 
-// Seal encrypts one page for (va, version). len(plain) must be PageSize.
-func (s *Sealer) Seal(va mmu.VAddr, version uint64, plain []byte) (Blob, error) {
+// EnclaveID returns the enclave identity the sealer was derived for, for
+// callers assembling Blob metadata around SealAppend output.
+func (s *Sealer) EnclaveID() uint64 { return s.enclaveID }
+
+// SealedLen is the exact ciphertext length of one sealed page. Callers
+// sizing arenas for SealAppend can rely on every sealed page occupying
+// exactly this many bytes.
+func (s *Sealer) SealedLen() int { return mmu.PageSize + s.aead.Overhead() }
+
+// SealAppend encrypts one page for (va, version) and appends the ciphertext
+// (including the tag) to dst, returning the extended slice. When dst has
+// SealedLen spare capacity the call does not allocate, which is what keeps
+// the paging hot paths allocation-free; the returned bytes never alias
+// Sealer-internal state. len(plain) must be PageSize.
+func (s *Sealer) SealAppend(dst []byte, va mmu.VAddr, version uint64, plain []byte) ([]byte, error) {
 	if len(plain) != mmu.PageSize {
-		return Blob{}, fmt.Errorf("pagestore: sealing %d bytes, want %d", len(plain), mmu.PageSize)
+		return nil, fmt.Errorf("pagestore: sealing %d bytes, want %d", len(plain), mmu.PageSize)
 	}
-	ct := s.aead.Seal(nil, s.nonce(va, version), plain, s.aad(va, version))
+	return s.aead.Seal(dst, s.nonce(va, version), plain, s.aad(va, version)), nil
+}
+
+// Seal encrypts one page for (va, version) into a freshly allocated blob.
+// len(plain) must be PageSize. Hot paths should prefer SealAppend with a
+// reused buffer.
+func (s *Sealer) Seal(va mmu.VAddr, version uint64, plain []byte) (Blob, error) {
+	ct, err := s.SealAppend(nil, va, version, plain)
+	if err != nil {
+		return Blob{}, err
+	}
 	return Blob{Ciphertext: ct, Version: version, EnclaveID: s.enclaveID}, nil
 }
 
-// Open decrypts a blob that must have been sealed for exactly
-// (va, expectVersion). Any tampered, replayed or mis-bound blob fails with
-// an error matching ErrIntegrity; when the blob's (untrusted, advisory)
-// metadata reveals the failure mode, the error is refined to ErrTruncated,
-// ErrStaleVersion or ErrWrongEnclave — all of which wrap ErrIntegrity, so
-// the security decision never depends on the refinement.
-func (s *Sealer) Open(va mmu.VAddr, expectVersion uint64, b Blob) ([]byte, error) {
+// OpenAppend decrypts a blob that must have been sealed for exactly
+// (va, expectVersion), appending the plaintext page to dst and returning the
+// extended slice. When dst has PageSize spare capacity the call does not
+// allocate. The returned bytes live in dst's backing array (never in
+// Sealer-internal scratch), so reusing the same buffer across calls is safe
+// as long as the previous result has been consumed.
+//
+// Any tampered, replayed or mis-bound blob fails with an error matching
+// ErrIntegrity; when the blob's (untrusted, advisory) metadata reveals the
+// failure mode, the error is refined to ErrTruncated, ErrStaleVersion or
+// ErrWrongEnclave — all of which wrap ErrIntegrity, so the security decision
+// never depends on the refinement.
+func (s *Sealer) OpenAppend(dst []byte, va mmu.VAddr, expectVersion uint64, b Blob) ([]byte, error) {
 	if len(b.Ciphertext) < mmu.PageSize+s.aead.Overhead() {
 		return nil, ErrTruncated
 	}
-	plain, err := s.aead.Open(nil, s.nonce(va, expectVersion), b.Ciphertext, s.aad(va, expectVersion))
+	plain, err := s.aead.Open(dst, s.nonce(va, expectVersion), b.Ciphertext, s.aad(va, expectVersion))
 	if err != nil {
 		switch {
 		case b.EnclaveID != s.enclaveID:
@@ -179,6 +219,13 @@ func (s *Sealer) Open(va mmu.VAddr, expectVersion uint64, b Blob) ([]byte, error
 		return nil, ErrIntegrity
 	}
 	return plain, nil
+}
+
+// Open decrypts a blob into a freshly allocated page. See OpenAppend for
+// the verification semantics; hot paths should prefer OpenAppend with a
+// reused buffer.
+func (s *Sealer) Open(va mmu.VAddr, expectVersion uint64, b Blob) ([]byte, error) {
+	return s.OpenAppend(nil, va, expectVersion, b)
 }
 
 // Store is the untrusted in-regular-memory repository of sealed pages, keyed
@@ -210,9 +257,14 @@ func key(enclaveID uint64, va mmu.VAddr) storeKey {
 }
 
 // Put stores the sealed blob for a page, snapshotting it into the
-// attacker's archive.
+// attacker's archive. The ciphertext is copied once (shared by the current
+// slot and the archive): per the PagingBackend ownership contract, the
+// caller's buffer is only valid for the duration of the call.
 func (st *Store) Put(enclaveID uint64, va mmu.VAddr, b Blob) {
 	k := key(enclaveID, va)
+	ct := make([]byte, len(b.Ciphertext))
+	copy(ct, b.Ciphertext)
+	b.Ciphertext = ct
 	st.history[k] = append(st.history[k], b)
 	st.blobs[k] = b
 }

@@ -111,7 +111,7 @@ func TestBudgetReachesJobAndClockEnforcesIt(t *testing.T) {
 			clk := sim.NewClock()
 			clk.SetLimit(BudgetFrom(ctx))
 			for i := 0; i < 100; i++ {
-				clk.Advance(100) // crosses the 1000-cycle budget
+				clk.ChargeAmbient(100) // crosses the 1000-cycle budget
 			}
 			return clk.Cycles(), nil
 		}},

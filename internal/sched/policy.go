@@ -34,7 +34,9 @@ type Policy interface {
 	Name() string
 	// Pick returns the next task to dispatch. runnable is non-empty and in
 	// spawn order; prev is the task that held the previous quantum (nil on
-	// the first dispatch, possibly no longer runnable).
+	// the first dispatch, possibly no longer runnable). The runnable slice
+	// is scheduler-owned scratch, reused across dispatches: a policy must
+	// not retain it after Pick returns.
 	Pick(runnable []*Task, prev *Task) *Task
 }
 

@@ -192,6 +192,10 @@ type Scheduler struct {
 	waiting   bool
 	voluntary bool // the in-flight AEX is a cooperative Yield, not a preemption
 	overhead  uint64
+
+	// runnable is step's reused dispatch scratch: one dispatch happens per
+	// quantum, so rebuilding the slice dominated the scheduler's allocations.
+	runnable []*Task
 }
 
 // New wires a scheduler to the machine behind k and installs it as the
@@ -308,12 +312,13 @@ func (s *Scheduler) Accounting() Accounting {
 // step runs one dispatch: pick, charge, arm the quantum, hand off, collect
 // the yield, attribute the slice.
 func (s *Scheduler) step() {
-	var runnable []*Task
+	runnable := s.runnable[:0]
 	for _, t := range s.tasks {
 		if !t.done {
 			runnable = append(runnable, t)
 		}
 	}
+	s.runnable = runnable
 	if len(runnable) == 0 {
 		panic("sched: step with nothing runnable")
 	}

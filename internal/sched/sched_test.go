@@ -193,7 +193,7 @@ func TestNonEnclaveTaskSchedules(t *testing.T) {
 	s := sched.New(k, nil, 10_000)
 	ran := false
 	tc := s.Spawn("compute", 0, nil, func() error {
-		clock.Advance(5_000)
+		clock.ChargeAmbient(5_000)
 		ran = true
 		return nil
 	})

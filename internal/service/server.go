@@ -448,26 +448,31 @@ func (s *Server) serve(ctx *core.Context, f Frame) {
 	c := s.conns[f.Conn]
 	s.charge(s.costs.ServDispatch)
 
-	// The request crosses the wire here: encode, roll the channel fault,
-	// decode under the checksum.
+	// The request crosses the wire here: roll the channel fault, and only
+	// when it mangles bytes pay for the encode/checksum/decode round-trip —
+	// a pristine frame decodes to exactly its wire view.
 	s.charge(s.costs.ServFrame)
 	now := s.clock.Cycles()
-	f.EncodeTo(s.scratch[:])
+	var wf Frame
 	switch s.plan.Roll(dirRequest, now, uint64(c.id), f.Corr) {
 	case fault.KindCorrupt, fault.KindTruncate:
+		f.EncodeTo(s.scratch[:])
 		s.scratch[corruptByte(&f, now)] ^= 0xff
+		var err error
+		wf, err = DecodeFrame(s.scratch[:])
+		if err != nil {
+			s.stats.Corrupt++
+			s.meter.Inc(metrics.CntServCorrupt)
+			s.reset(c)
+			return
+		}
 	case fault.KindUnavail:
 		// Lost in transit: the request simply never arrives.
 		s.stats.Dropped++
 		s.meter.Inc(metrics.CntServDrops)
 		return
-	}
-	wf, err := DecodeFrame(s.scratch[:])
-	if err != nil {
-		s.stats.Corrupt++
-		s.meter.Inc(metrics.CntServCorrupt)
-		s.reset(c)
-		return
+	default:
+		wf = f.wire()
 	}
 
 	if wf.Kind == FrameKeepAlive {
@@ -500,22 +505,26 @@ func (s *Server) serve(ctx *core.Context, f Frame) {
 func (s *Server) deliver(c *Conn, f Frame) {
 	s.charge(s.costs.ServFrame)
 	now := s.clock.Cycles()
-	f.EncodeTo(s.scratch[:])
+	var wf Frame
 	switch s.plan.Roll(dirReply, now, uint64(c.id), f.Corr) {
 	case fault.KindCorrupt, fault.KindTruncate:
+		f.EncodeTo(s.scratch[:])
 		s.scratch[corruptByte(&f, now)] ^= 0xff
+		var err error
+		wf, err = DecodeFrame(s.scratch[:])
+		if err != nil {
+			s.stats.Corrupt++
+			s.meter.Inc(metrics.CntServCorrupt)
+			s.reset(c)
+			return
+		}
 	case fault.KindUnavail:
 		s.stats.Dropped++
 		s.meter.Inc(metrics.CntServDrops)
 		s.reset(c)
 		return
-	}
-	wf, err := DecodeFrame(s.scratch[:])
-	if err != nil {
-		s.stats.Corrupt++
-		s.meter.Inc(metrics.CntServCorrupt)
-		s.reset(c)
-		return
+	default:
+		wf = f.wire()
 	}
 	if f.Gen != c.gen {
 		return // connection reset while the reply was in flight

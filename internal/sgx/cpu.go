@@ -304,16 +304,29 @@ func (c *CPU) AsHost(fn func() error) error {
 // TLB because the runtime's accesses to its own pinned structures are
 // charged as flat handler overhead.
 func (c *CPU) ReadEnclavePage(va mmu.VAddr, pfn mmu.PFN) ([]byte, error) {
-	e, ok := c.InEnclave()
-	if !ok {
-		return nil, fmt.Errorf("%w: ReadEnclavePage outside enclave mode", ErrOutsideEnclave)
-	}
-	if _, err := c.epcmFor(e, va.PageBase(), pfn); err != nil {
+	out := make([]byte, mmu.PageSize)
+	if err := c.ReadEnclavePageInto(out, va, pfn); err != nil {
 		return nil, err
 	}
-	out := make([]byte, mmu.PageSize)
-	copy(out, c.EPC.Data(pfn))
 	return out, nil
+}
+
+// ReadEnclavePageInto is ReadEnclavePage into a caller-provided buffer of at
+// least PageSize bytes, for eviction loops that snapshot many pages through
+// one reused buffer.
+func (c *CPU) ReadEnclavePageInto(dst []byte, va mmu.VAddr, pfn mmu.PFN) error {
+	e, ok := c.InEnclave()
+	if !ok {
+		return fmt.Errorf("%w: ReadEnclavePage outside enclave mode", ErrOutsideEnclave)
+	}
+	if _, err := c.epcmFor(e, va.PageBase(), pfn); err != nil {
+		return err
+	}
+	if len(dst) < mmu.PageSize {
+		return fmt.Errorf("sgx: ReadEnclavePageInto buffer %d bytes, want %d", len(dst), mmu.PageSize)
+	}
+	copy(dst[:mmu.PageSize], c.EPC.Data(pfn))
+	return nil
 }
 
 // translate resolves va for access type t, applying TLB, page-table walk,

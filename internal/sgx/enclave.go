@@ -45,6 +45,14 @@ type Enclave struct {
 
 	sealer *pagestore.Sealer
 
+	// sealBuf and openBuf are reusable scratch for EWB's sealed output and
+	// ELDU's decrypted page: the paging loop seals and restores thousands of
+	// pages, and each is consumed (stored / copied into EPC) before the next
+	// call, so one buffer per direction suffices and the hot path allocates
+	// nothing.
+	sealBuf []byte
+	openBuf []byte
+
 	// versions holds the per-page eviction version counters, modelling the
 	// trusted VA-page chain that gives EWB/ELDU replay protection.
 	versions map[uint64]uint64 // vpn -> version

@@ -1,0 +1,68 @@
+package sgx
+
+import (
+	"testing"
+
+	"autarky/internal/mmu"
+	"autarky/internal/sim"
+)
+
+// Allocation gates for the translation hot path (see DESIGN.md, "Hot paths
+// & allocation discipline"): a TLB-hit translate — the overwhelmingly
+// common case between paging events — must not touch the heap, and a full
+// TLB flush must cost O(1) work, not a sweep of every way.
+
+// hitCPU builds a CPU with one regular page mapped and its translation
+// already in the TLB.
+func hitCPU(tb testing.TB) (*CPU, mmu.VAddr) {
+	tb.Helper()
+	clock := sim.NewClock()
+	costs := sim.DefaultCosts()
+	pt := mmu.NewPageTable(clock, &costs)
+	tlb := mmu.NewTLB(16, 4, clock, &costs)
+	epc := NewEPC(0x1000, 8)
+	reg := NewRegularMemory(1 << 20)
+	c := NewCPU(clock, &costs, tlb, pt, epc, reg, []byte("hotpath"))
+	va := mmu.VAddr(0x40_0000)
+	pt.Map(va, reg.Alloc(), mmu.PermRW, false)
+	if _, fault := c.translate(va, mmu.AccessRead); fault != nil {
+		tb.Fatalf("warm-up translate faulted: %v", fault)
+	}
+	return c, va
+}
+
+func TestTranslateTLBHitZeroAlloc(t *testing.T) {
+	c, va := hitCPU(t)
+	if allocs := testing.AllocsPerRun(100, func() {
+		if _, fault := c.translate(va, mmu.AccessRead); fault != nil {
+			t.Fatalf("translate faulted: %v", fault)
+		}
+	}); allocs != 0 {
+		t.Errorf("TLB-hit translate allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func BenchmarkTranslateTLBHit(b *testing.B) {
+	c, va := hitCPU(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, fault := c.translate(va, mmu.AccessRead); fault != nil {
+			b.Fatalf("translate faulted: %v", fault)
+		}
+	}
+}
+
+// BenchmarkTLBFlushAll measures the epoch-based full flush. Every enclave
+// crossing flushes, so this must stay O(1) regardless of geometry.
+func BenchmarkTLBFlushAll(b *testing.B) {
+	c, va := hitCPU(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.TLB.FlushAll()
+		if _, fault := c.translate(va, mmu.AccessRead); fault != nil {
+			b.Fatalf("refill translate faulted: %v", fault)
+		}
+	}
+}

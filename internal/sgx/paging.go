@@ -100,10 +100,15 @@ func (c *CPU) EWB(e *Enclave, va mmu.VAddr, pfn mmu.PFN, store pagestore.PagingB
 	}
 	vpn := va.VPN()
 	version := e.versions[vpn] + 1
-	blob, err := e.sealer.Seal(va.PageBase(), version, c.EPC.Data(pfn))
+	// Seal into the enclave's reusable buffer: the backend copies whatever
+	// it retains (ownership contract), so the buffer is free again as soon
+	// as Evict returns.
+	ct, err := e.sealer.SealAppend(e.sealBuf[:0], va.PageBase(), version, c.EPC.Data(pfn))
 	if err != nil {
 		return err
 	}
+	e.sealBuf = ct[:0]
+	blob := pagestore.Blob{Ciphertext: ct, Version: version, EnclaveID: e.ID}
 	e.versions[vpn] = version
 	if e.swappedPerms == nil {
 		e.swappedPerms = make(map[uint64]mmu.Perms)
@@ -138,10 +143,13 @@ func (c *CPU) ELDU(e *Enclave, va mmu.VAddr, store pagestore.PagingBackend) (mmu
 	if err != nil {
 		return mmu.NoPFN, err
 	}
-	plain, err := e.sealer.Open(va, e.versions[vpn], blob)
+	// Decrypt into the enclave's reusable buffer; the plaintext is copied
+	// into the fresh frame below, before anything else touches the buffer.
+	plain, err := e.sealer.OpenAppend(e.openBuf[:0], va, e.versions[vpn], blob)
 	if err != nil {
 		return mmu.NoPFN, err
 	}
+	e.openBuf = plain[:0]
 	pfn, err := c.EPC.Alloc()
 	if err != nil {
 		return mmu.NoPFN, err
@@ -241,10 +249,13 @@ func (c *CPU) EACCEPTCOPY(va mmu.VAddr, pfn mmu.PFN, src []byte, perms mmu.Perms
 		return fmt.Errorf("sgx: EACCEPTCOPY source %d bytes exceeds page", len(src))
 	}
 	f := c.EPC.Entry(pfn)
-	for i := range f.Data {
-		f.Data[i] = 0
+	// Initialize from src first, then zero only the tail the source does
+	// not cover (a full-page src — the common fetch path — zeroes nothing).
+	n := copy(f.Data, src)
+	tail := f.Data[n:]
+	for i := range tail {
+		tail[i] = 0
 	}
-	copy(f.Data, src)
 	ent.Pending = false
 	ent.Perms = perms
 	c.Clock.ChargeAs(sim.CatPaging, c.Costs.EACCEPTCOPY)

@@ -9,10 +9,11 @@ package sim
 
 import "fmt"
 
-// Category labels where advanced cycles are attributed. Every Advance lands
-// in the clock's ambient category (CatCompute unless a caller has scoped a
-// different one with SetCategory), so the attribution buckets always sum to
-// the cycle count — the invariant internal/metrics builds on.
+// Category labels where advanced cycles are attributed. Every charge lands
+// in a bucket — ChargeAmbient in the clock's ambient category (CatCompute
+// unless a caller has scoped a different one with SetCategory), ChargeAs in
+// an explicit one — so the attribution buckets always sum to the cycle
+// count, the invariant internal/metrics builds on.
 type Category uint8
 
 // The attribution categories. NumCategories is the array size for bucket
@@ -60,7 +61,19 @@ type Clock struct {
 	limit   uint64
 	cat     Category
 	buckets Buckets
-	meter   any
+	meter   Meter
+}
+
+// Meter is the typed attachment point for the per-machine metrics registry
+// a Clock carries on behalf of its machine (see internal/metrics.Of). The
+// clock never charges through the meter — charging updates the flat
+// attribution buckets directly, so the hot path is two array adds — but a
+// typed hook means components recovering the registry perform a checked
+// interface conversion instead of a blind assertion on an `any` field.
+type Meter interface {
+	// MeterName identifies the registry implementation, for error messages
+	// when a component finds an unexpected meter attached to its clock.
+	MeterName() string
 }
 
 // NewClock returns a clock at cycle zero.
@@ -79,15 +92,18 @@ func (e *LimitError) Error() string {
 }
 
 // SetLimit arms a cooperative cycle budget: once the clock accumulates
-// more than limit cycles, Advance panics with a *LimitError. A limit of
+// more than limit cycles, any charge panics with a *LimitError. A limit of
 // zero disarms the budget.
 func (c *Clock) SetLimit(limit uint64) { c.limit = limit }
 
-// Advance adds n cycles to the clock, attributed to the ambient category.
-// Both the total and the bucket are updated before any limit panic, so the
-// attribution invariant (sum of buckets == cycles) holds even when a cell
-// aborts on its budget.
-func (c *Clock) Advance(n uint64) {
+// ChargeAmbient adds n cycles to the clock, attributed to the ambient
+// category. This is the single ambient charge entry point: the name marks
+// category inheritance as deliberate (e.g. an EENTER is fault-handling on
+// the fault path but compute at top-level entry), and it is greppable, so
+// reviewers can audit every such decision. Both the total and the bucket
+// are updated before any limit panic, so the attribution invariant (sum of
+// buckets == cycles) holds even when a cell aborts on its budget.
+func (c *Clock) ChargeAmbient(n uint64) {
 	c.buckets[c.cat] += n
 	c.cycles += n
 	if c.limit != 0 && c.cycles > c.limit {
@@ -96,21 +112,26 @@ func (c *Clock) Advance(n uint64) {
 }
 
 // ChargeAs advances the clock with the cycles attributed to an explicit
-// category, regardless of the ambient one. Instrumented packages use this
-// (or ChargeAmbient) instead of a naked Advance; tools/metriclint enforces
-// the convention.
+// category, regardless of the ambient one. It is the memory-access fast
+// path — a bucket add and a counter add, no category save/restore —
+// so per-access charging costs the same as a plain increment.
 func (c *Clock) ChargeAs(cat Category, n uint64) {
-	prev := c.cat
-	c.cat = cat
-	c.Advance(n)
-	c.cat = prev
+	c.buckets[cat] += n
+	c.cycles += n
+	if c.limit != 0 && c.cycles > c.limit {
+		panic(&LimitError{Limit: c.limit, At: c.cycles})
+	}
 }
 
-// ChargeAmbient advances the clock, deliberately inheriting the ambient
-// category (e.g. an EENTER is fault-handling on the fault path but compute
-// at top-level entry). It is Advance under a name that marks the
-// inheritance as intentional for tools/metriclint.
-func (c *Clock) ChargeAmbient(n uint64) { c.Advance(n) }
+// Advance adds n cycles to the clock, attributed to the ambient category.
+//
+// Deprecated: Advance duplicated ChargeAmbient under a name that reads as
+// innocuous, which made silent mis-attribution easy to write. New code
+// (workloads and experiments included) must call ChargeAmbient — or
+// ChargeAs with an explicit category — instead; tools/metriclint rejects
+// in-repo Advance call sites outside this package. The symbol remains for
+// external compatibility only.
+func (c *Clock) Advance(n uint64) { c.ChargeAmbient(n) }
 
 // SetCategory sets the ambient attribution category and returns the
 // previous one, so a scope is one line to open and one deferred line to
@@ -130,14 +151,14 @@ func (c *Clock) Category() Category { return c.cat }
 // Cycles().
 func (c *Clock) Buckets() Buckets { return c.buckets }
 
-// SetMeter attaches an opaque per-machine metrics registry to the clock
-// (see internal/metrics.Of). The clock itself never inspects it; carrying
+// SetMeter attaches the per-machine metrics registry to the clock (see
+// internal/metrics.Of). The clock itself never charges through it; carrying
 // it here lets every component that already receives the clock reach the
 // same registry without new constructor parameters.
-func (c *Clock) SetMeter(m any) { c.meter = m }
+func (c *Clock) SetMeter(m Meter) { c.meter = m }
 
 // Meter returns the attached metrics registry, or nil.
-func (c *Clock) Meter() any { return c.meter }
+func (c *Clock) Meter() Meter { return c.meter }
 
 // Cycles reports the current cycle count.
 func (c *Clock) Cycles() uint64 { return c.cycles }

@@ -1,0 +1,38 @@
+package sim
+
+import "testing"
+
+// Allocation gates for the charging hot path (see DESIGN.md, "Hot paths &
+// allocation discipline"): ChargeAs and ChargeAmbient run on every
+// simulated memory access, so they must be two array adds — no interface
+// dispatch, no heap traffic.
+
+func TestChargeZeroAlloc(t *testing.T) {
+	c := NewClock()
+	if allocs := testing.AllocsPerRun(100, func() {
+		c.ChargeAs(CatCrypto, 3)
+	}); allocs != 0 {
+		t.Errorf("ChargeAs allocates %.1f/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		c.ChargeAmbient(2)
+	}); allocs != 0 {
+		t.Errorf("ChargeAmbient allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func BenchmarkChargeAs(b *testing.B) {
+	c := NewClock()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.ChargeAs(CatPaging, 1)
+	}
+}
+
+func BenchmarkChargeAmbient(b *testing.B) {
+	c := NewClock()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.ChargeAmbient(1)
+	}
+}

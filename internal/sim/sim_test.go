@@ -5,23 +5,38 @@ import (
 	"testing/quick"
 )
 
-func TestClockAdvance(t *testing.T) {
+func TestClockChargeAmbient(t *testing.T) {
 	c := NewClock()
 	if c.Cycles() != 0 {
 		t.Fatalf("new clock at %d", c.Cycles())
 	}
-	c.Advance(5)
-	c.Advance(7)
+	c.ChargeAmbient(5)
+	c.ChargeAmbient(7)
 	if got := c.Cycles(); got != 12 {
 		t.Fatalf("Cycles() = %d, want 12", got)
 	}
 }
 
+// TestClockAdvanceAlias pins the deprecated Advance to ChargeAmbient
+// semantics: same total, same ambient bucket. External callers still on
+// Advance must see no behavior change.
+func TestClockAdvanceAlias(t *testing.T) {
+	c := NewClock()
+	c.SetCategory(CatPaging)
+	c.Advance(5)
+	if got := c.Cycles(); got != 5 {
+		t.Fatalf("Cycles() = %d, want 5", got)
+	}
+	if got := c.Buckets()[CatPaging]; got != 5 {
+		t.Fatalf("ambient bucket = %d, want 5", got)
+	}
+}
+
 func TestClockSince(t *testing.T) {
 	c := NewClock()
-	c.Advance(100)
+	c.ChargeAmbient(100)
 	start := c.Cycles()
-	c.Advance(42)
+	c.ChargeAmbient(42)
 	if got := c.Since(start); got != 42 {
 		t.Fatalf("Since = %d, want 42", got)
 	}
@@ -39,7 +54,7 @@ func TestClockSincePanicsOnFutureReading(t *testing.T) {
 
 func TestClockReset(t *testing.T) {
 	c := NewClock()
-	c.Advance(9)
+	c.ChargeAmbient(9)
 	c.Reset()
 	if c.Cycles() != 0 {
 		t.Fatal("Reset did not rewind")
@@ -48,9 +63,9 @@ func TestClockReset(t *testing.T) {
 
 func TestStopwatch(t *testing.T) {
 	c := NewClock()
-	c.Advance(3)
+	c.ChargeAmbient(3)
 	sw := NewStopwatch(c)
-	c.Advance(10)
+	c.ChargeAmbient(10)
 	if got := sw.Elapsed(); got != 10 {
 		t.Fatalf("Elapsed = %d, want 10", got)
 	}

@@ -107,7 +107,7 @@ func (f *FreeType) Render(ctx *core.Context, g rune) error {
 	}
 	ctx.Exec(f.shared[0])
 	ctx.Exec(page)
-	f.clock.Advance(f.RasterCycles)
+	f.clock.ChargeAmbient(f.RasterCycles)
 	ctx.Store(f.out[f.OutPage%len(f.out)])
 	f.OutPage++
 	return nil

@@ -115,7 +115,7 @@ func (j *JPEG) Decode(ctx *core.Context) {
 			} else {
 				ctx.Store(j.tmp[1]) // shortcut path touches one page
 			}
-			j.clock.Advance(j.comp)
+			j.clock.ChargeAmbient(j.comp)
 			ctx.Store(j.out[by*outPerRow+(bx*outPerRow)/j.BlocksW])
 		}
 		ctx.Progress(1)
@@ -128,7 +128,7 @@ func (j *JPEG) Invert(ctx *core.Context) {
 	for _, va := range j.out {
 		ctx.Load(va)
 		ctx.Store(va)
-		j.clock.Advance(64)
+		j.clock.ChargeAmbient(64)
 	}
 	ctx.Progress(uint64(len(j.out)))
 }
@@ -147,7 +147,7 @@ func (j *JPEG) Encode(ctx *core.Context) {
 					ctx.Load(j.tmp[t])
 				}
 			}
-			j.clock.Advance(j.comp)
+			j.clock.ChargeAmbient(j.comp)
 			ctx.Store(j.in[(i/256)%len(j.in)])
 		}
 		ctx.Progress(1)

@@ -89,7 +89,7 @@ func (m *Memcached) itemSlot(i int) int {
 // Get serves one request: hash-index probe, then the item page.
 func (m *Memcached) Get(ctx *core.Context, keyIdx int) {
 	m.Gets++
-	m.clock.Advance(m.perOpCycles)
+	m.clock.ChargeAmbient(m.perOpCycles)
 	i := m.indexOf(m.KeyOf(keyIdx))
 	m.backend.Touch(ctx, m.indexSlot(i), false)
 	m.backend.Touch(ctx, m.itemSlot(keyIdx%m.Items), false)
@@ -98,7 +98,7 @@ func (m *Memcached) Get(ctx *core.Context, keyIdx int) {
 
 // Set writes one item.
 func (m *Memcached) Set(ctx *core.Context, keyIdx int) {
-	m.clock.Advance(m.perOpCycles)
+	m.clock.ChargeAmbient(m.perOpCycles)
 	i := m.indexOf(m.KeyOf(keyIdx))
 	m.backend.Touch(ctx, m.indexSlot(i), true)
 	m.backend.Touch(ctx, m.itemSlot(keyIdx%m.Items), true)

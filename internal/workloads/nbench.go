@@ -54,7 +54,7 @@ func (e *KernelEnv) store(i int) {
 	e.Ctx.Store(e.Pages[i%len(e.Pages)])
 }
 
-func (e *KernelEnv) compute(c uint64) { e.Clock.Advance(c) }
+func (e *KernelEnv) compute(c uint64) { e.Clock.ChargeAmbient(c) }
 
 // Kernel is one nbench program.
 type Kernel struct {

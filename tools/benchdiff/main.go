@@ -12,6 +12,12 @@
 // disappeared fail the diff, because losing coverage silently is itself a
 // regression.
 //
+// When both reports carry a wall_nanos stamp, the tool also prints the host
+// wall-clock delta. That comparison is strictly informational: wall time
+// measures the simulator's implementation (and the machine it ran on), not
+// the simulated architecture, so it can never fail the diff — only
+// simulated-cycle drift is a hard failure.
+//
 // Usage:
 //
 //	autarky-bench -format json > /tmp/bench.json
@@ -43,17 +49,21 @@ type report struct {
 			} `json:"metrics"`
 		} `json:"metrics,omitempty"`
 	} `json:"tables"`
+	// WallNanos is the host wall-clock generation time, present in reports
+	// since the stamp was added (0 in older baselines).
+	WallNanos int64 `json:"wall_nanos"`
 }
 
-// load parses one report file into a title -> total-cycles map.
-func load(path string) (map[string]uint64, []string, error) {
+// load parses one report file into a title -> total-cycles map, also
+// returning the report's wall-clock stamp (0 when absent).
+func load(path string) (map[string]uint64, []string, int64, error) {
 	b, err := os.ReadFile(path)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
 	var r report
 	if err := json.Unmarshal(b, &r); err != nil {
-		return nil, nil, fmt.Errorf("%s: %w", path, err)
+		return nil, nil, 0, fmt.Errorf("%s: %w", path, err)
 	}
 	totals := make(map[string]uint64, len(r.Tables))
 	order := make([]string, 0, len(r.Tables))
@@ -67,7 +77,7 @@ func load(path string) (map[string]uint64, []string, error) {
 		}
 		totals[t.Title] += sum
 	}
-	return totals, order, nil
+	return totals, order, r.WallNanos, nil
 }
 
 // latestBaseline returns the lexicographically last BENCH_*.json — the
@@ -98,12 +108,12 @@ func main() {
 			os.Exit(2)
 		}
 	}
-	baseTotals, baseOrder, err := load(basePath)
+	baseTotals, baseOrder, baseWall, err := load(basePath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
 	}
-	curTotals, _, err := load(flag.Arg(0))
+	curTotals, _, curWall, err := load(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
@@ -135,6 +145,19 @@ func main() {
 			fmt.Printf("new      %-60.60s  (not in baseline; commit a fresh `make bench` to track it)\n", title)
 		}
 	}
+
+	// Wall-clock comparison: informational only. Wall time varies with the
+	// host, the Go version and concurrency, so it never fails the diff.
+	switch {
+	case baseWall > 0 && curWall > 0:
+		delta := 100 * (float64(curWall) - float64(baseWall)) / float64(baseWall)
+		fmt.Printf("wall     %.2fs -> %.2fs (%+.1f%%, informational — never fails the diff)\n",
+			float64(baseWall)/1e9, float64(curWall)/1e9, delta)
+	case curWall > 0:
+		fmt.Printf("wall     %.2fs (baseline has no wall_nanos stamp; refresh with `make bench`)\n",
+			float64(curWall)/1e9)
+	}
+
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "benchdiff: %d experiment(s) regressed or went missing\n", failures)
 		os.Exit(1)

@@ -32,6 +32,12 @@
 // the supported Spawn/Serve surface while the symbols remain for external
 // users.
 //
+// Clock.Advance is deprecated repository-wide: ChargeAmbient is the single
+// ambient charge entry point (see sim.Clock). Every package except
+// internal/sim itself — where the clock and its compatibility alias live —
+// is scanned, tests included, and any remaining Advance call site is
+// rejected with a pointer to the replacement.
+//
 // Exit status is non-zero if any violation is found. Run via `make check`.
 package main
 
@@ -42,6 +48,7 @@ import (
 	"go/token"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 )
 
@@ -100,6 +107,43 @@ func facadeConsumerDirs() []string {
 			}
 		}
 	}
+	return dirs
+}
+
+// advanceExempt lists the directories the deprecated-Advance rule skips:
+// internal/sim defines Clock.Advance (and its tests pin the alias), so the
+// symbol necessarily appears there.
+var advanceExempt = map[string]bool{
+	"internal/sim": true,
+}
+
+// goPackageDirs walks the repository for directories containing Go files,
+// skipping VCS metadata and testdata fixtures.
+func goPackageDirs() []string {
+	seen := map[string]bool{}
+	var dirs []string
+	filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return nil
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		dir := filepath.ToSlash(filepath.Dir(path))
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+		return nil
+	})
+	sort.Strings(dirs)
 	return dirs
 }
 
@@ -212,6 +256,40 @@ func main() {
 						violations++
 					}
 					return true
+				})
+			}
+		}
+	}
+
+	// Deprecation rule: Clock.Advance is a compatibility alias; everything
+	// outside internal/sim must charge through ChargeAmbient or ChargeAs.
+	// Instrumented packages are already rejected above with the stricter
+	// attribution message, so only their tests are scanned here.
+	instrumentedSet := map[string]bool{}
+	for _, dir := range instrumented {
+		instrumentedSet[dir] = true
+	}
+	for _, dir := range goPackageDirs() {
+		if advanceExempt[dir] {
+			continue
+		}
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, nil, 0)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metriclint: %v\n", err)
+			os.Exit(2)
+		}
+		for _, pkg := range pkgs {
+			for name, file := range pkg.Files {
+				rel := filepath.ToSlash(name)
+				if instrumentedSet[dir] && !strings.HasSuffix(name, "_test.go") {
+					continue
+				}
+				findAdvance(fset, file, func(pos token.Position) {
+					fmt.Fprintf(os.Stderr,
+						"%s:%d:%d: call to deprecated Clock.Advance; use ChargeAmbient (or ChargeAs with an explicit category)\n",
+						rel, pos.Line, pos.Column)
+					violations++
 				})
 			}
 		}
