@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt metriclint apicheck chaos orderly serving fuzz cover check bench gobench benchdiff
+.PHONY: all build test race vet fmt metriclint apicheck chaos orderly serving migrate fuzz cover check bench gobench benchdiff
 
 all: build
 
@@ -54,7 +54,7 @@ benchdiff: build
 # hot paths must report 0 allocs/op; the matching *ZeroAlloc tests gate
 # that in `make test`, so a regression fails CI rather than a bench diff.
 gobench:
-	$(GO) test -bench=. -benchmem -run=^$$ . ./internal/pagestore ./internal/sgx ./internal/sim
+	$(GO) test -bench=. -benchmem -run=^$$ . ./internal/libos ./internal/pagestore ./internal/sgx ./internal/sim
 
 # metriclint rejects unattributed Clock.Advance call sites inside the
 # instrumented simulation packages (see DESIGN.md, Observability).
@@ -106,12 +106,26 @@ serving: build
 	diff -u testdata/e14_serving.golden /tmp/e14_serving.jobs8
 	@echo "serving table matches golden at jobs=1 and jobs=8"
 
+# migrate runs the E15 live-migration sweep at two worker counts and diffs
+# both against the committed golden table — the repository-level proof that
+# the fleet (admission waves, migration handshakes, rebalancing and the
+# cross-machine cycle accounting) is byte-identical at any concurrency.
+# Regenerate after an intentional policy or cost-model change with:
+#   go run ./cmd/autarky-bench -exp migration -jobs 1 > testdata/e15_migration.golden
+migrate: build
+	$(GO) run ./cmd/autarky-bench -exp migration -jobs 1 > /tmp/e15_migration.jobs1
+	$(GO) run ./cmd/autarky-bench -exp migration -jobs 8 > /tmp/e15_migration.jobs8
+	diff -u testdata/e15_migration.golden /tmp/e15_migration.jobs1
+	diff -u testdata/e15_migration.golden /tmp/e15_migration.jobs8
+	@echo "migration table matches golden at jobs=1 and jobs=8"
+
 # fuzz gives the adversarial decode paths a quick shake: sealed-blob
-# authentication (pagestore) and checkpoint restore (libos). Run with a
-# longer -fuzztime locally when touching either.
+# authentication (pagestore), checkpoint restore and migration adoption
+# (libos). Run with a longer -fuzztime locally when touching any of them.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzUnseal -fuzztime=10s ./internal/pagestore
 	$(GO) test -run='^$$' -fuzz=FuzzRestore -fuzztime=10s ./internal/libos
+	$(GO) test -run='^$$' -fuzz=FuzzMigrate -fuzztime=10s ./internal/libos
 
 # cover enforces the committed per-package statement-coverage floors
 # (testdata/coverage_floors.txt). Raise a floor when tests improve; never
@@ -130,7 +144,7 @@ cover:
 
 # check is the CI gate: formatting, static analysis, attribution lint,
 # API-surface freshness, build, the full test suite under the race
-# detector, the chaos, orderliness and serving determinism goldens, the
-# coverage floors, and a short fuzz pass.
-check: fmt vet metriclint apicheck build race chaos orderly serving cover fuzz
+# detector, the chaos, orderliness, serving and migration determinism
+# goldens, the coverage floors, and a short fuzz pass.
+check: fmt vet metriclint apicheck build race chaos orderly serving migrate cover fuzz
 	@echo "all checks passed"

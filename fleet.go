@@ -1,0 +1,87 @@
+package autarky
+
+import (
+	"autarky/internal/fleet"
+	"autarky/internal/sim"
+)
+
+// Fleet types re-exported into the public API.
+type (
+	// Fleet is N simulated machines under one logical clock, with live
+	// migration between them: add nodes and tenants, then Run. See
+	// internal/fleet for the execution model; NewFleet applies the options.
+	Fleet = fleet.Fleet
+	// FleetNode is one machine of a fleet (its kernel, scheduler, cost
+	// model and EPC geometry).
+	FleetNode = fleet.Node
+	// Tenant is one enclave application under fleet management: an image
+	// and config plus the Prepare/Body/Pause hooks that let the fleet
+	// restart it on another machine mid-run.
+	Tenant = fleet.Tenant
+	// FleetStats is the fleet's elasticity account: migrations, rebalance
+	// scans that moved tenants, and total downtime cycles.
+	FleetStats = fleet.Stats
+	// FleetAccounting is the fleet-wide cycle balance sheet; the fleet's
+	// CheckAccounting verifies each tenant's cross-machine account against
+	// the node schedulers' attribution.
+	FleetAccounting = fleet.Accounting
+	// PlacementPolicy decides where tenants run: placement at admission and
+	// rebalancing moves from EPC-occupancy snapshots.
+	PlacementPolicy = fleet.Policy
+	// FleetMove is one migration a policy's rebalance scan proposes.
+	FleetMove = fleet.Move
+	// FirstFit packs each admission onto the first node with room and never
+	// rebalances — the static baseline.
+	FirstFit = fleet.FirstFit
+	// Watermark packs on admission and sheds load from nodes above the High
+	// occupancy watermark onto nodes below Low, with hysteresis and a
+	// per-tenant cooldown bounding migration churn.
+	Watermark = fleet.Watermark
+)
+
+// FleetOption customizes fleet construction.
+type FleetOption func(*fleetConfig)
+
+type fleetConfig struct {
+	policy         fleet.Policy
+	quantum        uint64
+	rebalanceEvery int
+}
+
+// WithPlacementPolicy selects the fleet's placement/rebalance policy
+// (default FirstFit).
+func WithPlacementPolicy(p PlacementPolicy) FleetOption {
+	return func(c *fleetConfig) { c.policy = p }
+}
+
+// WithFleetQuantum sets every node scheduler's time slice in cycles
+// (default DefaultQuantum).
+func WithFleetQuantum(cycles uint64) FleetOption {
+	return func(c *fleetConfig) { c.quantum = cycles }
+}
+
+// WithRebalanceEvery sets the policy's rebalance cadence in scheduling
+// rounds (0, the default, disables rebalancing).
+func WithRebalanceEvery(rounds int) FleetOption {
+	return func(c *fleetConfig) { c.rebalanceEvery = rounds }
+}
+
+// DefaultCosts returns the calibrated cycle-cost model (see DESIGN.md,
+// "Cost model calibration"). Fleet nodes take a Costs value so fleets can
+// be heterogeneous; start from this and adjust the fields that differ.
+func DefaultCosts() Costs { return sim.DefaultCosts() }
+
+// NewFleet builds an empty fleet on a fresh clock. Add machines with
+// Fleet.AddNode — each gets its own cost model and EPC geometry, so fleets
+// can be heterogeneous — register tenants with Fleet.Add, then Run. All
+// nodes share one clock and one metrics registry; migration freshness is
+// enforced by the fleet's CounterService.
+func NewFleet(opts ...FleetOption) *Fleet {
+	cfg := fleetConfig{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	f := fleet.New(sim.NewClock(), cfg.policy, cfg.quantum)
+	f.RebalanceEvery = cfg.rebalanceEvery
+	return f
+}

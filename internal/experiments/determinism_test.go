@@ -56,6 +56,9 @@ func determinismCases() []struct {
 	e14.QuotaPages = 44
 	e14.KeepAlive = 1 << 18
 
+	e15 := DefaultE15Params()
+	e15.Requests = 120
+
 	return []struct {
 		name string
 		run  func() *Table
@@ -77,6 +80,7 @@ func determinismCases() []struct {
 		{"E12", func() *Table { return RunE12(e12).Table() }},
 		{"E13", func() *Table { return RunE13(e13).Table() }},
 		{"E14", func() *Table { return RunE14(e14).Table() }},
+		{"E15", func() *Table { return RunE15(e15).Table() }},
 	}
 }
 

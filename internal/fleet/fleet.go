@@ -1,0 +1,533 @@
+// Package fleet runs N simulated Autarky machines under one logical clock
+// and moves enclave tenants between them with live migration.
+//
+// # Model
+//
+// A Fleet owns one sim.Clock; every Node (a full machine: CPU, EPC, MMU,
+// host kernel, scheduler) is wired to that clock, so cycles charged anywhere
+// in the fleet advance the one shared timeline and the per-category
+// attribution invariant (sum of buckets == clock cycles) keeps holding
+// fleet-wide. The Run loop interleaves the nodes' dispatch loops by calling
+// sched.Scheduler.Step round-robin: each node grants at most one quantum per
+// round, so no machine monopolizes the timeline and the interleaving is a
+// pure function of the policies and the cost model — byte-deterministic at
+// any host worker count.
+//
+// # Tenants and migration
+//
+// A Tenant is one enclave application plus the hooks the fleet needs to
+// restart it on another machine: Prepare wires handlers and frontends onto a
+// fresh incarnation, Body runs it under the node scheduler, Pause stops new
+// work so the body returns once its backlog drains. Migration is the
+// quiesce→seal→transfer→verify→resume handshake: Pause, then
+// sched.Scheduler.Drain (only the leaving task is dispatched until it
+// returns), then libos.Process.Migrate seals the enclave under the source
+// identity and retires it, libos.Adopt rebuilds it on the destination —
+// re-clustering and re-sealing every page under the destination's cost
+// model and backend stack — and the tenant is respawned there. The cycles
+// between Pause and respawn are the migration downtime; they are charged on
+// the shared clock like any other work and recorded per move.
+//
+// # Placement
+//
+// A Policy picks the node for each admission and proposes rebalancing moves
+// from EPC-occupancy snapshots; see FirstFit and Watermark. Policy scans are
+// charged to the policy category (sim.Costs.FleetScan per node scanned), so
+// elasticity has a visible price in the attribution vector.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+
+	"autarky/internal/hostos"
+	"autarky/internal/libos"
+	"autarky/internal/metrics"
+	"autarky/internal/mmu"
+	"autarky/internal/pagestore"
+	"autarky/internal/sched"
+	"autarky/internal/sgx"
+	"autarky/internal/sim"
+)
+
+// fleetRootSecret seals migration envelopes; sharing it across the fleet's
+// CPUs models the provisioned migration key of the paper's counter-service
+// design — only machines of the same fleet can open each other's envelopes.
+var fleetRootSecret = []byte("autarky-fleet-root")
+
+// Node is one simulated machine of the fleet: a complete host (CPU, EPC,
+// page tables, kernel, paging backends) plus its dispatch loop. All nodes
+// share the fleet's clock; each has its own cost model, so a fleet can be
+// heterogeneous in both EPC geometry and cycle costs.
+type Node struct {
+	Name   string
+	Kernel *hostos.Kernel
+	Sched  *sched.Scheduler
+	Costs  *sim.Costs
+}
+
+// FreeFrames reports the node's free physical EPC frames.
+func (n *Node) FreeFrames() int { return n.Kernel.CPU.EPC.FreeFrames() }
+
+// EPCFrames reports the node's total physical EPC frames.
+func (n *Node) EPCFrames() int { return n.Kernel.CPU.EPC.NumFrames() }
+
+// Occupancy is the fraction of EPC frames in use — the pressure signal
+// placement policies act on.
+func (n *Node) Occupancy() float64 {
+	total := n.Kernel.CPU.EPC.NumFrames()
+	if total == 0 {
+		return 0
+	}
+	return float64(total-n.Kernel.CPU.EPC.FreeFrames()) / float64(total)
+}
+
+// Tenant is one enclave application under fleet management. Name must be
+// unique within the fleet (it keys the cross-machine cycle account). The
+// three hooks receive the tenant itself, so one closure-free struct can be
+// shared between incarnations.
+type Tenant struct {
+	Name   string
+	Image  libos.AppImage
+	Config libos.Config
+
+	// AdmitAfter delays admission until the fleet clock reaches this cycle
+	// (tenant churn: the fleet idles forward when nothing else is runnable).
+	AdmitAfter uint64
+
+	// Prepare wires application state onto an incarnation: register
+	// handlers, and on first=false rebind frontends (service.Server.Rebind)
+	// and re-point idle hooks at the new node's scheduler.
+	Prepare func(t *Tenant, p *libos.Process, first bool) error
+	// Body runs the incarnation under the node scheduler (e.g. wraps
+	// service.Server.Loop in Process.Run). A tenant whose body returns
+	// outside a migration drain is finished and is not respawned.
+	Body func(t *Tenant, p *libos.Process) error
+	// Pause stops new work admission so Body returns once the in-flight
+	// backlog drains (e.g. service.Server.Drain). Tenants without a Pause
+	// hook cannot be migrated while running.
+	Pause func(t *Tenant)
+
+	node       *Node
+	proc       *libos.Process
+	task       *sched.Task
+	admitted   bool
+	cycles     uint64
+	migrations int
+	lastMove   int
+	err        error
+}
+
+// Node returns the machine currently hosting the tenant (nil before
+// admission).
+func (t *Tenant) Node() *Node { return t.node }
+
+// Proc returns the tenant's current incarnation (nil before admission).
+func (t *Tenant) Proc() *libos.Process { return t.proc }
+
+// Migrations reports how many times the tenant has moved.
+func (t *Tenant) Migrations() int { return t.migrations }
+
+// Err returns the first error any incarnation's body returned.
+func (t *Tenant) Err() error { return t.err }
+
+// Cycles is the tenant's total machine-clock share: scheduler-attributed
+// cycles accumulated across every incarnation on every node.
+func (t *Tenant) Cycles() uint64 {
+	c := t.cycles
+	if t.task != nil {
+		c += t.task.Metrics().Cycles
+	}
+	return c
+}
+
+// footprint estimates the tenant's EPC demand in frames: its residency
+// quota when self-paging bounds it, otherwise the full image.
+func (t *Tenant) footprint() int {
+	if q := t.Config.QuotaPages; q > 0 {
+		return q
+	}
+	n := t.Image.DataPages + t.Image.HeapPages
+	if t.Image.StackPages > 0 {
+		n += t.Image.StackPages
+	} else {
+		n += 8
+	}
+	for _, lib := range t.Image.Libraries {
+		n += lib.TotalPages()
+	}
+	return n
+}
+
+// movable reports whether the rebalancer may pick the tenant: it must be
+// running and pausable, i.e. mid-incarnation with a quiesce hook.
+func (t *Tenant) movable() bool {
+	return t.task != nil && !t.task.Done() && t.Pause != nil
+}
+
+// Stats is the fleet's elasticity account.
+type Stats struct {
+	Migrations     int    // completed tenant moves
+	Rebalances     int    // policy scans that produced at least one move
+	DowntimeCycles uint64 // total cycles tenants spent paused mid-move
+}
+
+// Fleet is N machines, their tenants, and the placement policy that binds
+// them. Create with New, add nodes and tenants, then Run.
+type Fleet struct {
+	// Counters is the fleet's migration counter service (the paper's
+	// monotonic-counter freshness authority): every adoption is checked and
+	// committed against it, so a replayed envelope is rejected fleet-wide.
+	Counters *sgx.CounterService
+
+	// RebalanceEvery invokes the policy's rebalance scan every that many
+	// scheduling rounds (0 disables rebalancing).
+	RebalanceEvery int
+
+	// OnMigrate, when set, observes every completed move (after the tenant
+	// is respawned on its destination).
+	OnMigrate func(t *Tenant, from, to *Node)
+
+	clock   *sim.Clock
+	m       *metrics.Metrics
+	policy  Policy
+	quantum uint64
+	nodes   []*Node
+	tenants []*Tenant
+	round   int
+	placed  int
+	stats   Stats
+}
+
+// New builds an empty fleet on the given clock. policy nil means FirstFit;
+// quantum 0 means sched.DefaultQuantum.
+func New(clock *sim.Clock, policy Policy, quantum uint64) *Fleet {
+	if policy == nil {
+		policy = FirstFit{}
+	}
+	if quantum == 0 {
+		quantum = sched.DefaultQuantum
+	}
+	return &Fleet{
+		Counters: sgx.NewCounterService(),
+		clock:    clock,
+		m:        metrics.Of(clock),
+		policy:   policy,
+		quantum:  quantum,
+	}
+}
+
+// Clock returns the fleet's shared clock.
+func (f *Fleet) Clock() *sim.Clock { return f.clock }
+
+// PolicyName reports the active placement policy.
+func (f *Fleet) PolicyName() string { return f.policy.Name() }
+
+// Round reports the current scheduling round (one Step per node each).
+func (f *Fleet) Round() int { return f.round }
+
+// Stats returns the elasticity account so far.
+func (f *Fleet) Stats() Stats { return f.stats }
+
+// Nodes returns the fleet's machines in creation order.
+func (f *Fleet) Nodes() []*Node {
+	out := make([]*Node, len(f.nodes))
+	copy(out, f.nodes)
+	return out
+}
+
+// Tenants returns the fleet's tenants in registration order.
+func (f *Fleet) Tenants() []*Tenant {
+	out := make([]*Tenant, len(f.tenants))
+	copy(out, f.tenants)
+	return out
+}
+
+// AddNode builds a complete machine on the fleet clock and registers it.
+// Each node takes its own copy of costs, so heterogeneous cost models are
+// per-node; epcFrames sets the node's physical EPC geometry.
+func (f *Fleet) AddNode(name string, epcFrames int, costs sim.Costs) *Node {
+	c := costs
+	pt := mmu.NewPageTable(f.clock, &c)
+	tlb := mmu.NewTLB(64, 4, f.clock, &c)
+	epc := sgx.NewEPC(mmu.PFN(0x100000), epcFrames)
+	reg := sgx.NewRegularMemory(mmu.PFN(1 << 40))
+	cpu := sgx.NewCPU(f.clock, &c, tlb, pt, epc, reg, fleetRootSecret)
+	store := pagestore.NewStore()
+	k := hostos.NewKernel(cpu, pt, store, f.clock, &c)
+	n := &Node{Name: name, Kernel: k, Sched: sched.New(k, nil, f.quantum), Costs: &c}
+	f.nodes = append(f.nodes, n)
+	return n
+}
+
+// Add registers a tenant for admission (at AdmitAfter, by the policy).
+func (f *Fleet) Add(t *Tenant) { f.tenants = append(f.tenants, t) }
+
+// validate rejects fleets that cannot run.
+func (f *Fleet) validate() error {
+	if len(f.nodes) == 0 {
+		return errors.New("fleet: no nodes")
+	}
+	seen := make(map[string]bool, len(f.tenants))
+	for _, t := range f.tenants {
+		if t.Name == "" || seen[t.Name] {
+			return fmt.Errorf("fleet: tenant name %q empty or duplicate", t.Name)
+		}
+		seen[t.Name] = true
+		if t.Body == nil {
+			return fmt.Errorf("fleet: tenant %s has no body", t.Name)
+		}
+	}
+	return nil
+}
+
+// spawn starts the tenant's current incarnation under its node's scheduler.
+func (f *Fleet) spawn(t *Tenant) {
+	p := t.proc
+	t.task = t.node.Sched.Spawn(t.Name, t.Config.Priority, p.Proc, func() error {
+		return t.Body(t, p)
+	})
+}
+
+// collect folds a finished (or drained) task's cycle account into the
+// tenant and releases the task slot.
+func (f *Fleet) collect(t *Tenant) {
+	if t.task == nil {
+		return
+	}
+	t.cycles += t.task.Metrics().Cycles
+	if err := t.task.Err(); err != nil && t.err == nil {
+		t.err = err
+	}
+	t.task = nil
+}
+
+// admit places and loads a tenant's first incarnation. Every tenant gets a
+// fleet-unique ELRANGE base: the base travels inside the migration image,
+// so it must stay collision-free on whichever node the tenant lands later.
+func (f *Fleet) admit(t *Tenant) error {
+	node := f.policy.Place(f, t)
+	if node == nil {
+		return fmt.Errorf("fleet: no node fits tenant %s (%d pages)", t.Name, t.footprint())
+	}
+	cfg := t.Config
+	if cfg.Base == 0 {
+		cfg.Base = libos.DefaultBase + mmu.VAddr(uint64(f.placed)<<32)
+	}
+	f.placed++
+	p, err := libos.Load(node.Kernel, f.clock, node.Costs, t.Image, cfg)
+	if err != nil {
+		return fmt.Errorf("fleet: load tenant %s on %s: %w", t.Name, node.Name, err)
+	}
+	t.Config = cfg
+	t.node, t.proc = node, p
+	if t.Prepare != nil {
+		if err := t.Prepare(t, p, true); err != nil {
+			return fmt.Errorf("fleet: prepare tenant %s on %s: %w", t.Name, node.Name, err)
+		}
+	}
+	f.spawn(t)
+	t.admitted = true
+	return nil
+}
+
+// Migrate live-migrates a tenant to another node: pause, drain, seal,
+// adopt, re-prepare, respawn. The cycles from pause to respawn are the
+// migration's downtime.
+func (f *Fleet) Migrate(t *Tenant, to *Node) error {
+	if t.node == nil || t.proc == nil {
+		return fmt.Errorf("fleet: migrate %s: not admitted", t.Name)
+	}
+	if to == t.node {
+		return fmt.Errorf("fleet: migrate %s: already on %s", t.Name, to.Name)
+	}
+	from := t.node
+	start := f.clock.Cycles()
+	if t.task != nil && !t.task.Done() {
+		if t.Pause == nil {
+			return fmt.Errorf("fleet: migrate %s: tenant has no pause hook", t.Name)
+		}
+		t.Pause(t)
+		if err := from.Sched.Drain(t.task); err != nil {
+			return fmt.Errorf("fleet: migrate %s: drain: %w", t.Name, err)
+		}
+	}
+	f.collect(t)
+	mig, err := t.proc.Migrate()
+	if err != nil {
+		return fmt.Errorf("fleet: migrate %s off %s: %w", t.Name, from.Name, err)
+	}
+	p2, err := libos.Adopt(to.Kernel, f.clock, to.Costs, mig, f.Counters)
+	if err != nil {
+		return fmt.Errorf("fleet: adopt %s on %s: %w", t.Name, to.Name, err)
+	}
+	t.node, t.proc = to, p2
+	if t.Prepare != nil {
+		if err := t.Prepare(t, p2, false); err != nil {
+			return fmt.Errorf("fleet: prepare %s on %s: %w", t.Name, to.Name, err)
+		}
+	}
+	f.spawn(t)
+	t.migrations++
+	t.lastMove = f.round
+	f.stats.Migrations++
+	down := f.clock.Cycles() - start
+	f.stats.DowntimeCycles += down
+	f.m.Add(metrics.CntMigrationDowntime, down)
+	if f.OnMigrate != nil {
+		f.OnMigrate(t, from, to)
+	}
+	return nil
+}
+
+// Rebalance runs one policy scan and executes the proposed moves, charging
+// the scan to the policy category. It reports how many tenants moved.
+func (f *Fleet) Rebalance() (int, error) {
+	for _, n := range f.nodes {
+		f.clock.ChargeAs(sim.CatPolicy, n.Costs.FleetScan)
+	}
+	moves := f.policy.Rebalance(f)
+	moved := 0
+	for _, mv := range moves {
+		if mv.Tenant == nil || mv.To == nil || !mv.Tenant.movable() {
+			continue
+		}
+		if err := f.Migrate(mv.Tenant, mv.To); err != nil {
+			return moved, err
+		}
+		moved++
+	}
+	if moved > 0 {
+		f.stats.Rebalances++
+		f.m.Inc(metrics.CntFleetRebalances)
+	}
+	return moved, nil
+}
+
+// Run drives the fleet to completion: admit tenants as they come due, step
+// every node's dispatch loop round-robin, rebalance on cadence, and idle
+// the clock forward to the next admission when nothing is runnable. It
+// returns the first tenant body error (in registration order) once every
+// tenant has finished.
+func (f *Fleet) Run() error {
+	if err := f.validate(); err != nil {
+		return err
+	}
+	for {
+		pendingAt, pending := f.admitDue()
+		for _, t := range f.tenants {
+			if t.task != nil && t.task.Done() {
+				f.collect(t)
+			}
+		}
+		any := false
+		for _, n := range f.nodes {
+			if n.Sched.Step() {
+				any = true
+			}
+		}
+		if f.RebalanceEvery > 0 && f.round > 0 && f.round%f.RebalanceEvery == 0 {
+			if _, err := f.Rebalance(); err != nil {
+				return err
+			}
+		}
+		f.round++
+		if !any {
+			if !pending {
+				break
+			}
+			// The whole fleet is idle but tenants are still due: advance
+			// the clock to the next arrival instead of spinning.
+			if now := f.clock.Cycles(); pendingAt > now {
+				f.clock.ChargeAs(sim.CatCompute, pendingAt-now)
+			}
+		}
+	}
+	for _, t := range f.tenants {
+		f.collect(t)
+	}
+	for _, t := range f.tenants {
+		if t.err != nil {
+			return fmt.Errorf("fleet: tenant %s: %w", t.Name, t.err)
+		}
+	}
+	return nil
+}
+
+// admitDue admits every tenant whose arrival cycle has passed; it returns
+// the earliest future arrival and whether one exists.
+func (f *Fleet) admitDue() (uint64, bool) {
+	now := f.clock.Cycles()
+	var nextAt uint64
+	pending := false
+	for _, t := range f.tenants {
+		if t.admitted {
+			continue
+		}
+		if t.AdmitAfter <= now {
+			if err := f.admit(t); err != nil {
+				if t.err == nil {
+					t.err = err
+				}
+				t.admitted = true // do not retry a failed admission
+			}
+			continue
+		}
+		if !pending || t.AdmitAfter < nextAt {
+			nextAt = t.AdmitAfter
+		}
+		pending = true
+	}
+	return nextAt, pending
+}
+
+// Accounting is the fleet-wide cycle balance sheet, the N-machine analogue
+// of sched.Accounting: every cycle on the shared clock is inside some
+// tenant's slices on some node, spent by some node's dispatch loop, or
+// outside every scheduler (loading, sealing, adoption, fleet bookkeeping).
+type Accounting struct {
+	PerTenant     map[string]uint64 // scheduler-attributed cycles by tenant name
+	TenantCycles  uint64            // sum over PerTenant
+	SchedCycles   uint64            // all nodes' dispatch overhead
+	OutsideCycles uint64            // everything else on the shared clock
+	TotalCycles   uint64            // the fleet clock
+}
+
+// Accounting sums every node's scheduler account onto the shared clock.
+// Because tenant names key tasks across machines, PerTenant[t] is the
+// tenant's total cycles across all incarnations — source and destination
+// shares of a migrated tenant land in one entry.
+func (f *Fleet) Accounting() Accounting {
+	a := Accounting{
+		PerTenant:   make(map[string]uint64, len(f.tenants)),
+		TotalCycles: f.clock.Cycles(),
+	}
+	for _, n := range f.nodes {
+		sa := n.Sched.Accounting()
+		a.SchedCycles += sa.SchedulerCycles
+		for _, tm := range sa.Tasks {
+			a.PerTenant[tm.Name] += tm.Cycles
+			a.TenantCycles += tm.Cycles
+		}
+	}
+	a.OutsideCycles = a.TotalCycles - a.TenantCycles - a.SchedCycles
+	return a
+}
+
+// CheckAccounting verifies the cross-machine attribution invariant: each
+// tenant's accumulated cycle account (folded across every incarnation it
+// ran, on every node) equals the sum the node schedulers attributed to its
+// tasks, and the fleet-wide buckets sum to the shared clock.
+func (f *Fleet) CheckAccounting() error {
+	a := f.Accounting()
+	if a.TenantCycles+a.SchedCycles+a.OutsideCycles != a.TotalCycles {
+		return errors.New("fleet: tenant + scheduler + outside cycles != fleet clock")
+	}
+	for _, t := range f.tenants {
+		if got, want := t.Cycles(), a.PerTenant[t.Name]; got != want {
+			return fmt.Errorf("fleet: tenant %s accounts %d cycles, schedulers attribute %d",
+				t.Name, got, want)
+		}
+	}
+	return nil
+}

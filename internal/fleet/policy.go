@@ -1,0 +1,110 @@
+package fleet
+
+// Policy decides where tenants run. Place picks the node for a new
+// admission (nil means nothing fits); Rebalance inspects the fleet's
+// occupancy and proposes moves. Both run between scheduling rounds, on the
+// fleet's goroutine, and must be deterministic functions of fleet state.
+type Policy interface {
+	Name() string
+	Place(f *Fleet, t *Tenant) *Node
+	Rebalance(f *Fleet) []Move
+}
+
+// Move is one proposed migration.
+type Move struct {
+	Tenant *Tenant
+	To     *Node
+}
+
+// FirstFit packs each admission onto the first node with room and never
+// moves anyone afterwards — the static baseline every elastic policy is
+// measured against.
+type FirstFit struct{}
+
+// Name implements Policy.
+func (FirstFit) Name() string { return "first-fit" }
+
+// Place implements Policy: the first node whose free EPC covers the
+// tenant's footprint.
+func (FirstFit) Place(f *Fleet, t *Tenant) *Node {
+	need := t.footprint()
+	for _, n := range f.nodes {
+		if n.FreeFrames() >= need {
+			return n
+		}
+	}
+	return nil
+}
+
+// Rebalance implements Policy: first-fit never moves a tenant.
+func (FirstFit) Rebalance(*Fleet) []Move { return nil }
+
+// Watermark packs on admission like first-fit but spreads under pressure:
+// a node whose EPC occupancy exceeds High sheds its most recently placed
+// movable tenant onto the least-occupied node still below Low. The gap
+// between the watermarks is the hysteresis band — a destination just under
+// High is never chosen, so a move cannot immediately re-trigger in the
+// other direction. At most one tenant leaves a node per scan, and a tenant
+// that just moved is left alone for Cooldown rounds, bounding migration
+// churn under sustained pressure.
+type Watermark struct {
+	High float64 // occupancy above this sheds load
+	Low  float64 // only nodes below this receive load
+	// Cooldown is the minimum number of scheduling rounds between two
+	// moves of the same tenant.
+	Cooldown int
+}
+
+// Name implements Policy.
+func (Watermark) Name() string { return "watermark" }
+
+// Place implements Policy: pack first-fit; pressure is the rebalancer's
+// problem.
+func (w Watermark) Place(f *Fleet, t *Tenant) *Node {
+	return FirstFit{}.Place(f, t)
+}
+
+// Rebalance implements Policy.
+func (w Watermark) Rebalance(f *Fleet) []Move {
+	var moves []Move
+	for _, n := range f.nodes {
+		if n.Occupancy() <= w.High {
+			continue
+		}
+		// The most recently placed movable tenant on the hot node: undoing
+		// the newest packing decision disturbs the least history.
+		var cand *Tenant
+		for _, t := range f.tenants {
+			if t.node != n || !t.movable() {
+				continue
+			}
+			if t.migrations > 0 && f.round-t.lastMove < w.Cooldown {
+				continue
+			}
+			cand = t
+		}
+		if cand == nil {
+			continue
+		}
+		need := cand.footprint()
+		var dst *Node
+		dstOcc := 0.0
+		for _, d := range f.nodes {
+			if d == n || d.FreeFrames() < need {
+				continue
+			}
+			occ := d.Occupancy()
+			if occ >= w.Low {
+				continue
+			}
+			if dst == nil || occ < dstOcc {
+				dst, dstOcc = d, occ
+			}
+		}
+		if dst == nil {
+			continue
+		}
+		moves = append(moves, Move{Tenant: cand, To: dst})
+	}
+	return moves
+}

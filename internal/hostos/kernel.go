@@ -260,6 +260,10 @@ type Kernel struct {
 	// procList holds the same processes in enclave-creation order, so the
 	// cross-enclave victim scan is deterministic (map iteration is not).
 	procList []*Proc
+	// migrated tombstones enclave IDs retired by RetireEnclave, so a stale
+	// handle to a migrated-away enclave surfaces ErrMigrated (still an
+	// ErrNotLoaded in the errors.Is sense) instead of the generic sentinel.
+	migrated map[uint64]bool
 	m        *metrics.Metrics
 
 	// backend is the storage hierarchy every paging path writes sealed
@@ -281,6 +285,7 @@ func NewKernel(cpu *sgx.CPU, pt *mmu.PageTable, store *pagestore.Store, clock *s
 		Costs:     costs,
 		Adversary: NopAdversary{},
 		procs:     make(map[uint64]*Proc),
+		migrated:  make(map[uint64]bool),
 		m:         metrics.Of(clock),
 		backend:   store,
 	}
@@ -314,6 +319,9 @@ func (k *Kernel) proc(p *Proc) (*Proc, error) {
 		return nil, fmt.Errorf("%w: nil process handle", ErrNotLoaded)
 	}
 	if got := k.procs[p.E.ID]; got != p {
+		if k.migrated[p.E.ID] {
+			return nil, fmt.Errorf("%w: enclave %d", ErrMigrated, p.E.ID)
+		}
 		return nil, fmt.Errorf("%w: enclave %d", ErrNotLoaded, p.E.ID)
 	}
 	return p, nil
@@ -327,6 +335,9 @@ func (k *Kernel) procFor(e *sgx.Enclave) (*Proc, error) {
 	}
 	p := k.procs[e.ID]
 	if p == nil {
+		if k.migrated[e.ID] {
+			return nil, fmt.Errorf("%w: enclave %d", ErrMigrated, e.ID)
+		}
 		return nil, fmt.Errorf("%w: enclave %d", ErrNotLoaded, e.ID)
 	}
 	return p, nil
@@ -355,6 +366,10 @@ type EnclaveSpec struct {
 	// restored enclave continues its previous incarnation's chain. Load-time
 	// evictions then continue from the seeded counters.
 	SeedVersions map[uint64]uint64
+	// SeedMigrationEpoch, when non-zero, records the migration freshness
+	// counter this incarnation was adopted at (see sgx.CounterService); the
+	// next migration envelope it seals carries SeedMigrationEpoch+1.
+	SeedMigrationEpoch uint64
 }
 
 // LoadEnclave builds, measures and initializes an enclave per spec:
@@ -369,6 +384,9 @@ func (k *Kernel) LoadEnclave(spec EnclaveSpec) (*Proc, error) {
 	e.Runtime = spec.Runtime
 	if spec.SeedVersions != nil {
 		e.SeedVersions(spec.SeedVersions)
+	}
+	if spec.SeedMigrationEpoch != 0 {
+		e.SeedMigrationEpoch(spec.SeedMigrationEpoch)
 	}
 	p := &Proc{
 		E:     e,

@@ -172,6 +172,17 @@ func Restore(k *hostos.Kernel, clock *sim.Clock, costs *sim.Costs, cp *Checkpoin
 	if err := validatePayload(&payload); err != nil {
 		return nil, err
 	}
+	return restorePayload(k, clock, costs, &payload, 0)
+}
+
+// restorePayload is the shared rebuild-and-replay tail of Restore and Adopt:
+// tear down the dead incarnation occupying the address range, rebuild the
+// enclave from the payload's image and configuration, verify the measurement
+// matches the source, and replay the captured pages through the normal write
+// path — re-encrypting every page under the new incarnation's identity.
+// seedEpoch, when non-zero, records the migration freshness counter the new
+// incarnation resumes from (Adopt); Restore passes zero.
+func restorePayload(k *hostos.Kernel, clock *sim.Clock, costs *sim.Costs, payload *checkpointPayload, seedEpoch uint64) (*Process, error) {
 	base := payload.Config.Base
 	if base == 0 {
 		base = DefaultBase
@@ -183,6 +194,7 @@ func Restore(k *hostos.Kernel, clock *sim.Clock, costs *sim.Costs, cp *Checkpoin
 	}
 	cfg := payload.Config
 	cfg.seedVersions = payload.Versions
+	cfg.seedEpoch = seedEpoch
 	p, err := Load(k, clock, costs, payload.Image, cfg)
 	if err != nil {
 		return nil, err

@@ -83,8 +83,11 @@ type Config struct {
 	NSSA int
 
 	// seedVersions carries checkpointed anti-replay counters into the new
-	// incarnation; only Restore sets it.
+	// incarnation; only Restore and Adopt set it.
 	seedVersions map[uint64]uint64
+	// seedEpoch carries the migration freshness counter an adopted
+	// incarnation resumes from; only Adopt sets it.
+	seedEpoch uint64
 }
 
 // Process is a loaded enclave application.
@@ -107,6 +110,16 @@ type Process struct {
 	cfg      Config
 	grown    int
 	handlers []namedHandler
+
+	// Migration scratch (see migrate.go): the quiesce hot path captures,
+	// encodes and seals into these reused buffers so repeated migrations of
+	// a long-lived process allocate nothing once warm.
+	migPages   []byte
+	migPageVAs []uint64
+	migVPNs    []uint64
+	migPlain   []byte
+	migSealed  []byte
+	migCapture func(*core.Context)
 }
 
 // Enclave returns the underlying enclave.
@@ -203,7 +216,8 @@ func Load(k *hostos.Kernel, clock *sim.Clock, costs *sim.Costs, img AppImage, cf
 		Quota:    cfg.QuotaPages,
 		Mech:     hostos.PagingMech(cfg.Mech),
 
-		SeedVersions: cfg.seedVersions,
+		SeedVersions:       cfg.seedVersions,
+		SeedMigrationEpoch: cfg.seedEpoch,
 	}
 	proc, err := k.LoadEnclave(spec)
 	if err != nil {

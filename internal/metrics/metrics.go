@@ -140,6 +140,14 @@ const (
 	CntServDrops        // frames lost in transit or discarded on a reset
 	CntServIdlePolls    // dispatch-loop polls while no frame was due
 
+	// Live migration + fleet (internal/libos migrate, internal/fleet).
+	CntMigrations        // migration envelopes sealed (source side)
+	CntMigrationPages    // writable pages captured into migration envelopes
+	CntAdopts            // envelopes successfully adopted (destination side)
+	CntAdoptsRejected    // adopt attempts refused (structural, stale, mismatch)
+	CntMigrationDowntime // cycles between quiesce start and destination resume
+	CntFleetRebalances   // fleet rebalance scans that produced at least one move
+
 	// NumCounters is the array size, not a counter.
 	NumCounters
 )
@@ -242,6 +250,13 @@ var counterNames = [NumCounters]string{
 	CntServTimeouts:     "serv.timeouts",
 	CntServDrops:        "serv.drops",
 	CntServIdlePolls:    "serv.idle_polls",
+
+	CntMigrations:        "migrate.seals",
+	CntMigrationPages:    "migrate.pages",
+	CntAdopts:            "migrate.adopts",
+	CntAdoptsRejected:    "migrate.rejected",
+	CntMigrationDowntime: "migrate.downtime_cycles",
+	CntFleetRebalances:   "fleet.rebalances",
 }
 
 // Name returns the counter's stable wire name.

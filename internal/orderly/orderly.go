@@ -81,6 +81,13 @@ const (
 	// OpSwapBackend re-installs the paging backend — legal only with no
 	// enclaves resident.
 	OpSwapBackend
+	// OpQuiesce seals the process for migration, retiring the source
+	// incarnation (only in Migration scenarios).
+	OpQuiesce
+	// OpAdopt rebuilds the process from the last migration envelope under
+	// the world's counter service; replaying a committed envelope probes
+	// the freshness check.
+	OpAdopt
 
 	// NumOps is the alphabet size.
 	NumOps
@@ -89,7 +96,7 @@ const (
 var opNames = [NumOps]string{
 	"load", "load-bad", "run", "suspend", "resume", "checkpoint",
 	"restore", "restore-bad", "destroy", "fault", "timer", "tamper",
-	"tamper-pinned", "swap-backend",
+	"tamper-pinned", "swap-backend", "quiesce", "adopt",
 }
 
 // String names the operation (stable: counterexample traces parse by name).
@@ -129,6 +136,10 @@ const (
 	PhaseDead
 	// PhaseDestroyed: torn down; the handle is stale.
 	PhaseDestroyed
+	// PhaseMigrated: sealed and handed off; the incarnation is retired and
+	// its address range is vacant, but the handle still answers (with
+	// ErrMigrated).
+	PhaseMigrated
 )
 
 // String names the phase.
@@ -146,6 +157,8 @@ func (p Phase) String() string {
 		return "dead"
 	case PhaseDestroyed:
 		return "destroyed"
+	case PhaseMigrated:
+		return "migrated"
 	default:
 		return fmt.Sprintf("Phase(%d)", int(p))
 	}
@@ -167,6 +180,9 @@ type Scenario struct {
 	HeapPages int
 	// Replay makes OpTamper roll blobs back instead of corrupting them.
 	Replay bool
+	// Migration enables the quiesce/adopt alphabet (the live-migration
+	// handshake and its misuse edges).
+	Migration bool
 }
 
 // Tight reports whether the quota forces paging traffic.
@@ -182,6 +198,7 @@ func DefaultScenarios() []Scenario {
 		{Name: "sp-sgx1-roomy", SelfPaging: true, Mech: core.MechSGX1, HeapPages: 6},
 		{Name: "sp-sgx2", SelfPaging: true, Mech: core.MechSGX2, QuotaPages: 6, HeapPages: 6},
 		{Name: "sp-sgx1-replay", SelfPaging: true, Mech: core.MechSGX1, QuotaPages: 6, HeapPages: 6, Replay: true},
+		{Name: "sp-migrate", SelfPaging: true, Mech: core.MechSGX1, QuotaPages: 6, HeapPages: 6, Migration: true},
 	}
 }
 
@@ -215,6 +232,12 @@ type world struct {
 	proc      *libos.Process
 	cp        *libos.Checkpoint
 	destroyed bool
+	// mig is the last migration envelope sealed by OpQuiesce; migCommitted
+	// marks it spent (a successful OpAdopt bumped the counter service, so
+	// replaying it must be refused as stale).
+	mig          *libos.Migration
+	migCommitted bool
+	counters     *sgx.CounterService
 	// tamperedHeap: a sealed blob of a (policy-paged) heap page was
 	// tampered with and not yet re-fetched or dropped.
 	tamperedHeap bool
@@ -230,7 +253,8 @@ type world struct {
 }
 
 func newWorld(sc Scenario) *world {
-	w := &world{sc: sc, clock: sim.NewClock(), costs: sim.DefaultCosts()}
+	w := &world{sc: sc, clock: sim.NewClock(), costs: sim.DefaultCosts(),
+		counters: sgx.NewCounterService()}
 	pt := mmu.NewPageTable(w.clock, &w.costs)
 	tlb := mmu.NewTLB(16, 4, w.clock, &w.costs)
 	epc := sgx.NewEPC(0x1000, 512)
@@ -281,7 +305,10 @@ func (w *world) phase() Phase {
 	if w.destroyed {
 		return PhaseDestroyed
 	}
-	if dead, _, _ := w.proc.Proc.E.Dead(); dead {
+	if dead, reason, _ := w.proc.Proc.E.Dead(); dead {
+		if reason == sgx.TerminateMigrated {
+			return PhaseMigrated
+		}
 		return PhaseDead
 	}
 	if w.proc.Proc.Suspended() {
@@ -299,6 +326,9 @@ type cond struct {
 	TamperedHeap   bool
 	TamperedPinned bool
 	HasCheckpoint  bool
+	// MigFresh: a migration envelope exists whose epoch the counter
+	// service has not committed yet (only a fresh envelope may adopt).
+	MigFresh bool
 }
 
 func (w *world) cond() cond {
@@ -309,6 +339,7 @@ func (w *world) cond() cond {
 		TamperedHeap:   w.tamperedHeap,
 		TamperedPinned: w.tamperedPinned,
 		HasCheckpoint:  w.cp != nil,
+		MigFresh:       w.mig != nil && !w.migCommitted,
 	}
 }
 
@@ -482,6 +513,32 @@ func (w *world) apply(op Op) error {
 		// only observable is the ordering rule: refused with enclaves
 		// resident, accepted otherwise.
 		return k.SetBackend(k.Store)
+
+	case OpQuiesce:
+		if !w.sc.Migration || w.proc == nil {
+			return errSkip
+		}
+		mig, err := w.proc.Migrate()
+		if err == nil {
+			w.mig, w.migCommitted = mig, false
+			// The seal drove the real access path; the incarnation whose
+			// blobs could have been tampered with is retired with them.
+			w.tamperedHeap, w.tamperedPinned = false, false
+		}
+		return err
+
+	case OpAdopt:
+		if w.mig == nil {
+			return errSkip
+		}
+		p, err := libos.Adopt(k, w.clock, &w.costs, w.mig, w.counters)
+		if err == nil {
+			w.proc, w.destroyed = p, false
+			w.tamperedHeap, w.tamperedPinned = false, false
+			w.ranSinceLoad = false
+			w.migCommitted = true
+		}
+		return err
 	}
 	return errSkip
 }
@@ -506,6 +563,9 @@ func (w *world) digest() uint64 {
 	b.WriteString(w.phase().String())
 	fmt.Fprintf(&b, "|th=%v|tp=%v|cp=%v|ran=%v|store=%d",
 		w.tamperedHeap, w.tamperedPinned, w.cp != nil, w.ranSinceLoad, w.kernel.Store.Len())
+	if w.mig != nil {
+		fmt.Fprintf(&b, "|mig=%v", w.migCommitted)
+	}
 	if w.proc != nil && !w.destroyed {
 		fmt.Fprintf(&b, "|prog=%d|fp=%x",
 			w.proc.Runtime.Progress(), w.proc.Proc.ResidencyFingerprint())

@@ -133,6 +133,7 @@ type Rule struct {
 	TamperedHeap   TriState
 	TamperedPinned TriState
 	HasCheckpoint  TriState
+	MigFresh       TriState
 	// Want is the required outcome.
 	Want Want
 	// Next, when not PhaseAny, asserts the phase after the operation.
@@ -159,7 +160,8 @@ func (r Rule) matches(op Op, c cond) bool {
 		r.Tight.match(c.Tight) &&
 		r.TamperedHeap.match(c.TamperedHeap) &&
 		r.TamperedPinned.match(c.TamperedPinned) &&
-		r.HasCheckpoint.match(c.HasCheckpoint)
+		r.HasCheckpoint.match(c.HasCheckpoint) &&
+		r.MigFresh.match(c.MigFresh)
 }
 
 // Spec is an ordered rule table.
@@ -190,8 +192,10 @@ func in(phases ...Phase) []Phase             { return phases }
 func DefaultSpec() *Spec {
 	return &Spec{Rules: []Rule{
 		// ---- load ----
-		// Loading is legal only into an empty or torn-down address range.
-		{Op: OpLoad, Phases: in(PhaseAbsent, PhaseDestroyed), Want: ok(), Next: PhaseLoaded},
+		// Loading is legal only into an empty or torn-down address range;
+		// a migrated-away enclave's range is vacant, so loading there is
+		// legal too (and arms the adopt-onto-live-range refusal below).
+		{Op: OpLoad, Phases: in(PhaseAbsent, PhaseDestroyed, PhaseMigrated), Want: ok(), Next: PhaseLoaded},
 		// A contradictory configuration is rejected by field name in any
 		// phase, before any machine state is touched.
 		{Op: OpLoadBad, Want: config("ElideAEX"), Next: PhaseAny},
@@ -294,10 +298,53 @@ func DefaultSpec() *Spec {
 		// ---- backend swap ----
 		// Swapping the paging backend under resident enclaves would
 		// orphan their sealed blobs mid-flight; it is refused until the
-		// range is clean.
-		{Op: OpSwapBackend, Phases: in(PhaseAbsent, PhaseDestroyed), Want: ok()},
+		// range is clean. Migration retires the resident enclave, so a
+		// migrated-away machine is clean.
+		{Op: OpSwapBackend, Phases: in(PhaseAbsent, PhaseDestroyed, PhaseMigrated), Want: ok()},
 		{Op: OpSwapBackend, Phases: in(PhaseLoaded, PhaseSuspended, PhaseDead),
 			Want: is(hostos.ErrEnclavesLoaded)},
+
+		// ---- migration: quiesce ----
+		// Quiescing mirrors checkpoint capture (it drives the same access
+		// path, so a tampered blob kills the source mid-seal) but retires
+		// the incarnation on success: the handle answers ErrMigrated from
+		// then on, and quiesce-twice is its own misuse edge.
+		// Like checkpoint, the libos sees the dead enclave before the
+		// kernel sees the stale handle, so dead and destroyed surface the
+		// same termination class.
+		{Op: OpQuiesce, Phases: in(PhaseDead, PhaseDestroyed), Want: is(sgx.ErrEnclaveTerminated)},
+		{Op: OpQuiesce, Phases: in(PhaseMigrated), Want: is(hostos.ErrMigrated), Next: PhaseMigrated},
+		{Op: OpQuiesce, Phases: in(PhaseSuspended), Want: is(hostos.ErrSuspended), Next: PhaseSuspended},
+		{Op: OpQuiesce, Phases: in(PhaseLoaded), SelfPaging: Yes, TamperedHeap: Yes,
+			Want: term(sgx.TerminateIntegrity), Next: PhaseDead},
+		{Op: OpQuiesce, Phases: in(PhaseLoaded), TamperedHeap: No, TamperedPinned: No,
+			Want: ok(), Next: PhaseMigrated},
+
+		// ---- migration: adopt ----
+		// A fresh envelope adopts only into a vacant range: a live (or
+		// suspended) enclave there refuses the adoption, a dead or
+		// torn-down one is cleaned up first. A committed envelope is
+		// refused as stale in every phase — the counter service closes the
+		// fork-and-replay channel no matter what the machine looks like.
+		{Op: OpAdopt, MigFresh: Yes, Phases: in(PhaseLoaded, PhaseSuspended),
+			Want: is(hostos.ErrEnclaveLive)},
+		{Op: OpAdopt, MigFresh: Yes, Phases: in(PhaseMigrated, PhaseDead, PhaseDestroyed),
+			Want: ok(), Next: PhaseLoaded},
+		{Op: OpAdopt, MigFresh: No, Want: is(sgx.ErrStaleMigration), Next: PhaseAny},
+
+		// ---- migration: the retired handle ----
+		// Every kernel service on a migrated-away handle answers
+		// ErrMigrated (a refinement of ErrNotLoaded); the libos checkpoint
+		// path sees the dead enclave first and refuses with the
+		// termination sentinel, exactly as for any other dead enclave.
+		{Op: OpRun, Phases: in(PhaseMigrated), Want: is(hostos.ErrMigrated), Next: PhaseMigrated},
+		{Op: OpSuspend, Phases: in(PhaseMigrated), Want: is(hostos.ErrMigrated), Next: PhaseMigrated},
+		{Op: OpResume, Phases: in(PhaseMigrated), Want: is(hostos.ErrMigrated), Next: PhaseMigrated},
+		{Op: OpDestroy, Phases: in(PhaseMigrated), Want: is(hostos.ErrMigrated), Next: PhaseMigrated},
+		{Op: OpCheckpoint, Phases: in(PhaseMigrated), Want: is(sgx.ErrEnclaveTerminated), Next: PhaseMigrated},
+		{Op: OpRestore, Phases: in(PhaseMigrated), HasCheckpoint: Yes, Want: ok(), Next: PhaseLoaded},
+		{Op: OpFault, Phases: in(PhaseMigrated), Want: is(hostos.ErrMigrated), Next: PhaseMigrated},
+		{Op: OpTimer, Phases: in(PhaseMigrated), Want: is(hostos.ErrMigrated), Next: PhaseMigrated},
 
 		// Deliberate gaps (no row → the checker skips, counts, and never
 		// explores past the combination):
@@ -309,6 +356,14 @@ func DefaultSpec() *Spec {
 		//     take all enclave-managed pages back under the quota.
 		//   - load into a live/dead range: two enclaves sharing one
 		//     page-table range is not a state the kernel model supports.
+		//   - quiesce outside a migration scenario (or before any load):
+		//     the world has no migration machinery (or no process) to
+		//     drive, so the op is structurally impossible, not refused.
+		//   - adopt with no captured envelope: there is nothing to
+		//     present to the counter service yet.
+		//   - tamper at PhaseMigrated: the retired incarnation's sealed
+		//     blobs were dropped with its backing store, so there is no
+		//     blob left to corrupt.
 	}}
 }
 

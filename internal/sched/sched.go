@@ -191,7 +191,11 @@ type Scheduler struct {
 
 	waiting   bool
 	voluntary bool // the in-flight AEX is a cooperative Yield, not a preemption
-	overhead  uint64
+	// draining, when non-nil, restricts dispatch to that one task: the
+	// machine is quiescing it for migration, and granting slices to anyone
+	// else would let new work slip in behind the drain (see Drain).
+	draining *Task
+	overhead uint64
 
 	// runnable is step's reused dispatch scratch: one dispatch happens per
 	// quantum, so rebuilding the slice dominated the scheduler's allocations.
@@ -310,11 +314,13 @@ func (s *Scheduler) Accounting() Accounting {
 }
 
 // step runs one dispatch: pick, charge, arm the quantum, hand off, collect
-// the yield, attribute the slice.
+// the yield, attribute the slice. While a drain is in progress only the
+// draining task is eligible — new dispatch of co-tenants is rejected until
+// the quiesce completes.
 func (s *Scheduler) step() {
 	runnable := s.runnable[:0]
 	for _, t := range s.tasks {
-		if !t.done {
+		if !t.done && (s.draining == nil || t == s.draining) {
 			runnable = append(runnable, t)
 		}
 	}
@@ -435,6 +441,75 @@ func (s *Scheduler) Drive(stop func() bool) error {
 	}
 	s.cpu.PreemptAt = 0
 	return nil
+}
+
+// Drain quiesces one task for migration: the dispatch loop runs with every
+// other task frozen out until t's run function returns — each slice still
+// ends with a genuine AEX at the quantum boundary, but only t is ever
+// redispatched, so in-flight work drains while new dispatch of co-tenants
+// is rejected by construction. The caller is expected to have arranged for
+// t's body to terminate once its queues empty (e.g. service.Server.Drain);
+// when Drain returns, no quantum of t is in flight and its enclave is ready
+// to be sealed and retired. Like Wait, Drain must not be called from inside
+// a scheduled task.
+func (s *Scheduler) Drain(t *Task) error {
+	if t.s != s {
+		panic("sched: Drain for a task of a different scheduler")
+	}
+	if s.waiting {
+		panic("sched: Drain re-entered (called from inside a scheduled task?)")
+	}
+	s.waiting = true
+	defer func() { s.waiting = false }()
+	defer func() { s.draining = nil }()
+	defer func() {
+		if r := recover(); r != nil {
+			s.abortAll()
+			panic(r)
+		}
+	}()
+	s.draining = t
+	for !t.done {
+		s.step()
+	}
+	s.cpu.PreemptAt = 0
+	return t.err
+}
+
+// Draining reports whether a quiesce is in progress (new dispatch of other
+// tasks is being rejected).
+func (s *Scheduler) Draining() bool { return s.draining != nil }
+
+// Step runs one dispatch if any task is runnable and reports whether it did.
+// It is the fleet layer's building block: N machines share one clock, and
+// round-robin Step calls interleave their dispatch loops deterministically
+// without any machine monopolizing the timeline. Like Wait, it must not be
+// called from inside a scheduled task.
+func (s *Scheduler) Step() bool {
+	if s.waiting {
+		panic("sched: Step re-entered (called from inside a scheduled task?)")
+	}
+	runnable := false
+	for _, t := range s.tasks {
+		if !t.done && (s.draining == nil || t == s.draining) {
+			runnable = true
+			break
+		}
+	}
+	if !runnable {
+		s.cpu.PreemptAt = 0
+		return false
+	}
+	s.waiting = true
+	defer func() { s.waiting = false }()
+	defer func() {
+		if r := recover(); r != nil {
+			s.abortAll()
+			panic(r)
+		}
+	}()
+	s.step()
+	return true
 }
 
 // OnPreempt implements hostos.Preemptor. It runs on the preempted task's

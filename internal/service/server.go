@@ -154,6 +154,10 @@ type Server struct {
 
 	kaCursor int
 	closed   bool
+	// draining pauses admission without closing: the loop serves what is
+	// queued and returns, but the remaining schedule stays pending so a
+	// Rebind onto a migrated incarnation can resume it (see Drain).
+	draining bool
 	scratch  [FrameBytes]byte
 	hist     *metrics.Histogram
 	stats    Stats
@@ -216,6 +220,56 @@ func (s *Server) Closed() bool { return s.closed }
 // Close stops admission; the dispatch loop drains what is queued and
 // returns.
 func (s *Server) Close() { s.closed = true }
+
+// Drain pauses the server for migration: no new arrival is admitted (due
+// scheduled arrivals stay pending), no keep-alive is synthesized, and the
+// dispatch loop returns once the already-admitted backlog is served — all
+// WITHOUT closing the server. The host-side state (connections, histogram,
+// remaining schedule) survives; Rebind attaches it to the adopted
+// incarnation and admission resumes, with the arrivals that came due during
+// the outage flooding in as the downtime burst a real migration causes.
+func (s *Server) Drain() { s.draining = true }
+
+// Draining reports whether a migration drain is in progress.
+func (s *Server) Draining() bool { return s.draining }
+
+// Rebind attaches the server's host-side state to a new process incarnation
+// (the adopted enclave on the destination machine) and resumes admission.
+// The operation table was frozen into every queued and scheduled frame as
+// indexes, so the new incarnation must register the same handler names in
+// the same order; anything else is a protocol error. Rebind assumes the
+// destination machine shares the source's clock timeline (in a fleet, all
+// machines run under one sim.Clock) — absolute arrival cycles keep their
+// meaning across the move.
+func (s *Server) Rebind(p *libos.Process) error {
+	if !s.draining {
+		return fmt.Errorf("service: %s rebind without drain", s.Name())
+	}
+	if s.frozen {
+		names := p.HandlerNames()
+		if len(names) != len(s.opNames) {
+			return fmt.Errorf("service: %s rebind with %d handlers, frozen table has %d",
+				s.Name(), len(names), len(s.opNames))
+		}
+		for i, name := range names {
+			if name != s.opNames[i] {
+				return fmt.Errorf("service: %s rebind handler %d is %q, frozen table has %q",
+					s.Name(), i, name, s.opNames[i])
+			}
+			h, ok := p.Handler(name)
+			if !ok {
+				return fmt.Errorf("service: %s rebind: handler %q not registered", s.Name(), name)
+			}
+			s.handlers[i] = h
+		}
+	}
+	s.proc = p
+	s.clock = p.Kernel.Clock
+	s.costs = p.Kernel.Costs
+	s.meter = metrics.Of(p.Kernel.Clock)
+	s.draining = false
+	return nil
+}
 
 // Dial attaches a new client connection.
 func (s *Server) Dial() (*Conn, error) {
@@ -379,6 +433,9 @@ func (s *Server) admit(f Frame) error {
 // idle connections (a rotating cursor checks a few connections per pump,
 // so the sweep is O(1) amortized and deterministic).
 func (s *Server) pump() {
+	if s.draining {
+		return // migration drain: nothing new is admitted, nothing probed
+	}
 	now := s.clock.Cycles()
 	for s.pos < len(s.schedule) && s.schedule[s.pos].Arrive <= now {
 		f := s.schedule[s.pos]
@@ -404,6 +461,9 @@ func (s *Server) pump() {
 // the ring is empty, no scheduled arrival remains, and either the server
 // was closed or it is a pure open-loop server whose schedule is spent.
 func (s *Server) drained() bool {
+	if s.draining {
+		return s.fifoLen == 0 // backlog served; pending schedule survives
+	}
 	if s.fifoLen > 0 || s.pos < len(s.schedule) {
 		return false
 	}
@@ -422,7 +482,9 @@ func (s *Server) Loop(ctx *core.Context) {
 		f, ok := s.pop()
 		if !ok {
 			if s.drained() {
-				s.closed = true
+				if !s.draining {
+					s.closed = true
+				}
 				return
 			}
 			s.stats.IdlePolls++

@@ -121,6 +121,10 @@ const (
 	TerminateUnavailable
 	// TerminatePolicy: any other policy-initiated shutdown.
 	TerminatePolicy
+	// TerminateMigrated: the enclave's state was sealed and handed off to
+	// another machine; this incarnation is retired so the migration is a
+	// move, never a fork.
+	TerminateMigrated
 )
 
 // String names the reason.
@@ -138,6 +142,8 @@ func (r TerminationReason) String() string {
 		return "backing-unavailable"
 	case TerminatePolicy:
 		return "policy"
+	case TerminateMigrated:
+		return "migrated"
 	default:
 		return "unknown"
 	}

@@ -1,6 +1,7 @@
 package sgx
 
 import (
+	"crypto/cipher"
 	"fmt"
 	"sync/atomic"
 
@@ -73,6 +74,13 @@ type CPU struct {
 	instanceSalt uint64
 	// checkpointSeq numbers sealed checkpoints for nonce uniqueness.
 	checkpointSeq uint64
+
+	// Migration sealing state (see migrate.go): the cached AEAD keeps the
+	// quiesce hot path allocation-free, migrationSeq numbers envelopes for
+	// nonce uniqueness, and migAAD is the reused additional-data scratch.
+	migAEAD      cipher.AEAD
+	migrationSeq uint64
+	migAAD       []byte
 
 	cur    *Enclave
 	curTCS *TCS

@@ -35,10 +35,13 @@ type Enclave struct {
 	Runtime Runtime
 
 	initialized bool
-	dead        bool
-	deadReason  TerminationReason
-	deadDetail  string
-	deadCause   error
+	// migrationEpoch is the freshness counter this incarnation resumed
+	// from (0 if it never migrated); see migrate.go.
+	migrationEpoch uint64
+	dead           bool
+	deadReason     TerminationReason
+	deadDetail     string
+	deadCause      error
 
 	measuring   [32]byte // running measurement state (chained hashes)
 	measurement [32]byte // final after EINIT
@@ -126,6 +129,32 @@ func (e *Enclave) SeedVersions(versions map[uint64]uint64) {
 	for vpn, v := range versions {
 		e.versions[vpn] = v
 	}
+}
+
+// MigrationEpoch returns the freshness counter this incarnation was adopted
+// at (0 for an enclave that has never migrated). The next migration envelope
+// sealed from this enclave carries MigrationEpoch()+1.
+func (e *Enclave) MigrationEpoch() uint64 { return e.migrationEpoch }
+
+// SeedMigrationEpoch records the freshness counter an adopted incarnation
+// resumed from. Like SeedVersions it is load-time state: seeding after EINIT
+// would let a running enclave rewrite its own migration history.
+func (e *Enclave) SeedMigrationEpoch(epoch uint64) {
+	if e.initialized {
+		panic("sgx: SeedMigrationEpoch after EINIT")
+	}
+	e.migrationEpoch = epoch
+}
+
+// VersionVPNs appends the VPNs that currently carry an anti-replay version
+// to dst and returns it, letting a caller snapshot the version set without
+// allocating a map copy. Order is map order; callers needing determinism
+// sort the result.
+func (e *Enclave) VersionVPNs(dst []uint64) []uint64 {
+	for vpn := range e.versions {
+		dst = append(dst, vpn)
+	}
+	return dst
 }
 
 // SelfPaging reports whether the Autarky attribute is set.

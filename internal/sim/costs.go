@@ -72,6 +72,11 @@ type Costs struct {
 	ServFrame    uint64 // encode or decode one 32-byte frame + checksum
 	ServDispatch uint64 // dequeue, correlation and queue bookkeeping per frame
 	ServPoll     uint64 // one empty scan of the connection queues
+
+	// Fleet layer (internal/fleet): one placement/rebalance policy scan
+	// over a machine's occupancy metrics. Only fleet paths charge it, so
+	// single-machine experiments are unaffected.
+	FleetScan uint64
 }
 
 // DefaultCosts returns the calibrated model used by all experiments.
@@ -136,5 +141,10 @@ func DefaultCosts() Costs {
 		ServFrame:    120,
 		ServDispatch: 180,
 		ServPoll:     400,
+
+		// A rebalance scan reads each node's occupancy counters and
+		// compares them against the watermarks: cache-resident arithmetic,
+		// not I/O.
+		FleetScan: 600,
 	}
 }

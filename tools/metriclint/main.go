@@ -64,6 +64,7 @@ var instrumented = []string{
 	"internal/fault",
 	"internal/orderly",
 	"internal/service",
+	"internal/fleet",
 }
 
 // deterministic lists the packages whose behavior must be a pure function
@@ -76,6 +77,9 @@ var deterministic = []string{
 	// The model checker's exploration (and its golden digest) must be a
 	// pure function of (scenario, spec, depth).
 	"internal/orderly",
+	// Fleet placement, rebalancing and migration ordering must be a pure
+	// function of the shared clock — E15's golden diff depends on it.
+	"internal/fleet",
 }
 
 // forbiddenImports are the nondeterminism sources banned in deterministic
