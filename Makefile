@@ -67,18 +67,24 @@ metriclint:
 apicheck:
 	$(GO) test -run TestPublicAPISurfaceGolden .
 
-# chaos runs the E12 fault-injection sweep at two worker counts and diffs
-# both against the committed golden table (testdata/e12_chaos.golden) — the
-# repository-level proof that fault injection, recovery and restore are
-# byte-identical at any concurrency. Regenerate the golden after an
-# intentional change with:
+# chaos runs the E12 fault-injection sweep and the E16 fleet-chaos sweep at
+# two worker counts each and diffs all four against the committed golden
+# tables (testdata/e12_chaos.golden, testdata/e16_chaosfleet.golden) — the
+# repository-level proof that fault injection, machine failures, supervised
+# recovery and restore are byte-identical at any concurrency. Regenerate a
+# golden after an intentional change with:
 #   go run ./cmd/autarky-bench -exp chaos -jobs 1 > testdata/e12_chaos.golden
+#   go run ./cmd/autarky-bench -exp chaosfleet -jobs 1 > testdata/e16_chaosfleet.golden
 chaos: build
 	$(GO) run ./cmd/autarky-bench -exp chaos -jobs 1 > /tmp/e12_chaos.jobs1
 	$(GO) run ./cmd/autarky-bench -exp chaos -jobs 8 > /tmp/e12_chaos.jobs8
 	diff -u testdata/e12_chaos.golden /tmp/e12_chaos.jobs1
 	diff -u testdata/e12_chaos.golden /tmp/e12_chaos.jobs8
-	@echo "chaos table matches golden at jobs=1 and jobs=8"
+	$(GO) run ./cmd/autarky-bench -exp chaosfleet -jobs 1 > /tmp/e16_chaosfleet.jobs1
+	$(GO) run ./cmd/autarky-bench -exp chaosfleet -jobs 8 > /tmp/e16_chaosfleet.jobs8
+	diff -u testdata/e16_chaosfleet.golden /tmp/e16_chaosfleet.jobs1
+	diff -u testdata/e16_chaosfleet.golden /tmp/e16_chaosfleet.jobs8
+	@echo "chaos tables match goldens at jobs=1 and jobs=8"
 
 # orderly runs the E13 model-checking exploration at two worker counts and
 # diffs both against the committed golden table — the repository-level proof
@@ -121,11 +127,13 @@ migrate: build
 
 # fuzz gives the adversarial decode paths a quick shake: sealed-blob
 # authentication (pagestore), checkpoint restore and migration adoption
-# (libos). Run with a longer -fuzztime locally when touching any of them.
+# (libos), and the service channel's wire-frame decoder (service). Run with
+# a longer -fuzztime locally when touching any of them.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzUnseal -fuzztime=10s ./internal/pagestore
 	$(GO) test -run='^$$' -fuzz=FuzzRestore -fuzztime=10s ./internal/libos
 	$(GO) test -run='^$$' -fuzz=FuzzMigrate -fuzztime=10s ./internal/libos
+	$(GO) test -run='^$$' -fuzz=FuzzFrame -fuzztime=10s ./internal/service
 
 # cover enforces the committed per-package statement-coverage floors
 # (testdata/coverage_floors.txt). Raise a floor when tests improve; never

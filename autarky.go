@@ -301,7 +301,15 @@ func NewMachine(opts ...Option) *Machine {
 	}
 	if optErr == nil && cfg.retry != nil {
 		if err := cfg.retry.Validate(); err != nil {
-			optErr = &ConfigError{Field: "RetryPolicy", Reason: err.Error()}
+			field := "RetryPolicy"
+			var re *hostos.RetryPolicyError
+			if errors.As(err, &re) {
+				// Point at the exact knob: "RetryPolicy.Attempts" etc.
+				field += "." + re.Field
+				optErr = &ConfigError{Field: field, Reason: re.Reason}
+			} else {
+				optErr = &ConfigError{Field: field, Reason: err.Error()}
+			}
 		} else {
 			backend = hostos.NewRetryBackend(backend, *cfg.retry, clock)
 		}

@@ -117,13 +117,18 @@ var registry = []experiment{
 		p.Requests *= s
 		return experiments.RunE15(p).Table()
 	}},
+	{[]string{"chaosfleet", "e16"}, func(s int) *experiments.Table {
+		p := experiments.DefaultE16Params()
+		p.Requests *= s
+		return experiments.RunE16(p).Table()
+	}},
 }
 
 // run is the testable entry point; it returns the process exit code.
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("autarky-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	exp := fs.String("exp", "all", "experiment to run: e1, fig5, fig6, fig7, table2, fig8, mixed, security, leakage, ablation, codeclusters, sensitivity, multitenant, backends, chaos, orderliness, serving, migration, or all")
+	exp := fs.String("exp", "all", "experiment to run: e1, fig5, fig6, fig7, table2, fig8, mixed, security, leakage, ablation, codeclusters, sensitivity, multitenant, backends, chaos, orderliness, serving, migration, chaosfleet, or all")
 	scale := fs.Int("scale", 1, "workload scale factor (iterations / dataset multiplier)")
 	jobs := fs.Int("jobs", runtime.NumCPU(), "max concurrent experiment cells; 1 runs strictly sequentially (identical output)")
 	format := fs.String("format", "text", "output format: text or json")

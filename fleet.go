@@ -43,9 +43,10 @@ type (
 type FleetOption func(*fleetConfig)
 
 type fleetConfig struct {
-	policy         fleet.Policy
-	quantum        uint64
-	rebalanceEvery int
+	policy          fleet.Policy
+	quantum         uint64
+	rebalanceEvery  int
+	checkpointEvery int
 }
 
 // WithPlacementPolicy selects the fleet's placement/rebalance policy
@@ -66,6 +67,15 @@ func WithRebalanceEvery(rounds int) FleetOption {
 	return func(c *fleetConfig) { c.rebalanceEvery = rounds }
 }
 
+// WithCheckpointEvery sets the fleet's periodic checkpoint cadence in
+// scheduling rounds (0, the default, disables checkpointing). Periodic
+// checkpoints are the recovery points a chaos supervisor restarts crashed
+// tenants from; their capture cost is charged to the attribution vector
+// like any other work.
+func WithCheckpointEvery(rounds int) FleetOption {
+	return func(c *fleetConfig) { c.checkpointEvery = rounds }
+}
+
 // DefaultCosts returns the calibrated cycle-cost model (see DESIGN.md,
 // "Cost model calibration"). Fleet nodes take a Costs value so fleets can
 // be heterogeneous; start from this and adjust the fields that differ.
@@ -83,5 +93,6 @@ func NewFleet(opts ...FleetOption) *Fleet {
 	}
 	f := fleet.New(sim.NewClock(), cfg.policy, cfg.quantum)
 	f.RebalanceEvery = cfg.rebalanceEvery
+	f.CheckpointEvery = cfg.checkpointEvery
 	return f
 }

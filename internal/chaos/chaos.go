@@ -1,0 +1,324 @@
+// Package chaos is the fleet's deterministic failure injector and
+// supervision layer: a seeded Schedule of whole-machine failures, and a
+// Supervisor that detects them through heartbeats alone and heals the fleet.
+//
+// # Injection
+//
+// A Plan is a seeded recipe — so many crashes, freezes and partitions spread
+// over a cycle horizon — that Build expands into a concrete Schedule using
+// sim.Rand. Every draw comes from the seed, so the event list (and therefore
+// the whole chaos run) is byte-identical at any worker count. Events fire
+// from the fleet's OnRound hook: a crash kills a machine's tasks and loses
+// its EPC for good (fleet.InjectCrash), a freeze stops its world for a fixed
+// number of cycles (fleet.InjectFreeze), a partition severs its tenants'
+// service channels while the machine keeps running (fleet.InjectPartition).
+//
+// # Supervision
+//
+// The Supervisor is deliberately blind to ground truth: it publishes
+// heartbeats on a fixed cadence (fleet.Heartbeat) and reads nothing but each
+// node's last-beat cycle. A node silent past the watchdog deadline becomes
+// suspect and is cordoned — no new placements onto a machine that may be
+// dead. A suspect that beats again was merely frozen or partitioned from the
+// supervisor: its tenants are evacuated through the ordinary Quiesce/Adopt
+// migration path and the machine is fenced (a host that went silent once is
+// not trusted again). A suspect silent for a second full deadline is
+// declared dead: its tenants are restored from their latest periodic
+// checkpoints onto surviving machines, highest priority first, and whatever
+// the survivors cannot hold is shed. Every supervision step — beats,
+// watchdog sweeps — is charged to the policy category, so self-healing has a
+// visible price in the attribution vector.
+package chaos
+
+import (
+	"fmt"
+	"sort"
+
+	"autarky/internal/fleet"
+	"autarky/internal/sim"
+)
+
+// EventKind is one failure mode.
+type EventKind int
+
+const (
+	// KindCrash crash-stops a machine: tasks killed, EPC lost, never back.
+	KindCrash EventKind = iota
+	// KindFreeze stops a machine's world for Dur cycles, then resumes it.
+	KindFreeze
+	// KindPartition severs the machine's tenants' service channels for Dur
+	// cycles while the machine keeps running.
+	KindPartition
+)
+
+// String names the kind for tables and errors.
+func (k EventKind) String() string {
+	switch k {
+	case KindCrash:
+		return "crash"
+	case KindFreeze:
+		return "freeze"
+	case KindPartition:
+		return "partition"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one planned failure.
+type Event struct {
+	At   uint64    // fleet-clock cycle at which the event fires
+	Kind EventKind // what happens
+	Node int       // victim, as an index into fleet.Nodes()
+	Dur  uint64    // freeze / partition length in cycles (unused for crashes)
+}
+
+// Schedule is an ordered list of planned failures plus the firing cursor.
+// Build one from a Plan (seeded) or assemble Events by hand for targeted
+// tests; either way, attach it to a fleet with Attach.
+type Schedule struct {
+	Events []Event
+	next   int
+}
+
+// Fired reports how many events have been injected so far.
+func (s *Schedule) Fired() int { return s.next }
+
+// Plan is a seeded chaos recipe. Build expands it into a Schedule.
+type Plan struct {
+	Seed    uint64 // seeds every draw (event times, victims, order)
+	Horizon uint64 // event times are drawn uniformly from [Horizon/8, Horizon)
+
+	Crashes    int // crash-stop machine failures
+	Freezes    int // stop-the-world freezes
+	Partitions int // service-channel partitions
+
+	FreezeCycles    uint64 // length of each freeze
+	PartitionCycles uint64 // length of each partition
+
+	// MinAlive caps the crashes: at least this many machines are never
+	// crash targets, so the fleet always has somewhere to fail over to.
+	// 0 means 1.
+	MinAlive int
+}
+
+// Build expands the plan into a concrete event schedule for a fleet of
+// `nodes` machines. Crash victims are distinct machines, never more than
+// nodes-MinAlive of them; freeze and partition victims may repeat. Events
+// are ordered by (At, Kind, Node) so firing order is unambiguous.
+func (p Plan) Build(nodes int) (*Schedule, error) {
+	if nodes < 1 {
+		return nil, fmt.Errorf("chaos: plan for %d nodes", nodes)
+	}
+	if p.Horizon == 0 {
+		return nil, fmt.Errorf("chaos: plan without a horizon")
+	}
+	minAlive := p.MinAlive
+	if minAlive < 1 {
+		minAlive = 1
+	}
+	if p.Crashes > nodes-minAlive {
+		return nil, fmt.Errorf("chaos: %d crashes would leave fewer than %d of %d machines alive",
+			p.Crashes, minAlive, nodes)
+	}
+	r := sim.NewRand(p.Seed)
+	at := func() uint64 { return p.Horizon/8 + r.Uint64n(p.Horizon-p.Horizon/8) }
+	var events []Event
+	// Crash victims are a seeded permutation prefix: distinct machines.
+	perm := r.Perm(nodes)
+	for i := 0; i < p.Crashes; i++ {
+		events = append(events, Event{At: at(), Kind: KindCrash, Node: perm[i]})
+	}
+	for i := 0; i < p.Freezes; i++ {
+		events = append(events, Event{At: at(), Kind: KindFreeze, Node: r.Intn(nodes), Dur: p.FreezeCycles})
+	}
+	for i := 0; i < p.Partitions; i++ {
+		events = append(events, Event{At: at(), Kind: KindPartition, Node: r.Intn(nodes), Dur: p.PartitionCycles})
+	}
+	sort.Slice(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.Node < b.Node
+	})
+	return &Schedule{Events: events}, nil
+}
+
+// mark is the supervisor's belief about one machine — derived exclusively
+// from heartbeats, never from fleet.Node.State.
+type mark int
+
+const (
+	markOK      mark = iota
+	markSuspect      // missed a watchdog deadline; cordoned
+	markDead         // silent for a second deadline; failed over
+	markFenced       // spoke again after suspicion; evacuated and fenced
+)
+
+// Supervisor is the fleet's failure detector and healer. Zero values take
+// defaults at Attach: HeartbeatEvery 1/4 of Deadline, Deadline required.
+type Supervisor struct {
+	// HeartbeatEvery is the beat-and-sweep cadence in cycles.
+	HeartbeatEvery uint64
+	// Deadline is the watchdog: a machine silent for more than this many
+	// cycles becomes suspect; a suspect silent for a second deadline is
+	// declared dead.
+	Deadline uint64
+
+	f           *fleet.Fleet
+	costs       *sim.Costs
+	nextAct     uint64
+	marks       []mark
+	suspectedAt []uint64
+}
+
+// tick runs one supervision step when due: publish heartbeats, charge the
+// watchdog sweep, and act on what the beats say.
+func (s *Supervisor) tick(now uint64) error {
+	if now < s.nextAct {
+		return nil
+	}
+	for s.nextAct <= now {
+		s.nextAct += s.HeartbeatEvery
+	}
+	s.f.Heartbeat()
+	s.f.Clock().ChargeAs(sim.CatPolicy, s.costs.FleetWatchdog)
+	for i, n := range s.f.Nodes() {
+		switch s.marks[i] {
+		case markOK:
+			if now-n.LastBeat() > s.Deadline {
+				s.marks[i] = markSuspect
+				s.suspectedAt[i] = now
+				n.SetCordoned(true)
+				s.f.NoteHeartbeatMiss(n)
+			}
+		case markSuspect:
+			if n.LastBeat() >= s.suspectedAt[i] {
+				// The machine spoke again: it was frozen, not dead. Its
+				// state survived, so evacuate through live migration and
+				// fence it.
+				if _, err := s.f.Evacuate(n); err != nil {
+					return err
+				}
+				s.marks[i] = markFenced
+			} else if now-s.suspectedAt[i] > s.Deadline {
+				// Silent for a second full deadline: declared dead. Restore
+				// its tenants from their checkpoints onto the survivors.
+				s.f.NoteHeartbeatMiss(n)
+				if err := s.f.FailOver(n); err != nil {
+					return err
+				}
+				s.marks[i] = markDead
+			}
+		}
+	}
+	return nil
+}
+
+// pendingWake reports the next cycle at which the supervisor has work that
+// must run even if the whole fleet is idle: a suspect to re-examine, or a
+// downed-but-recoverable tenant whose machine has not been declared dead
+// yet. Routine heartbeating alone never keeps an otherwise-finished fleet
+// alive.
+func (s *Supervisor) pendingWake() (uint64, bool) {
+	for _, m := range s.marks {
+		if m == markSuspect {
+			return s.nextAct, true
+		}
+	}
+	nodes := s.f.Nodes()
+	for _, t := range s.f.Tenants() {
+		if !t.Down() {
+			continue
+		}
+		if _, ok := t.LastCheckpoint(); !ok {
+			continue
+		}
+		for i, n := range nodes {
+			if n != t.Node() {
+				continue
+			}
+			if s.marks[i] == markOK {
+				// Recoverable and down, and the watchdog has not even
+				// suspected the machine yet: it must get its chance. (A
+				// dead or fenced machine was already handled — a tenant
+				// still down there was shed, and waking will not help it.)
+				return s.nextAct, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Attach wires a chaos schedule and (optionally) a supervisor into a
+// fleet's Run loop via the OnRound and NextWake hooks. sched may be nil
+// (supervision without injection); sup may be nil (injection without
+// supervision — the no-supervisor baseline). Attach must run before
+// Fleet.Run and requires at least one node.
+func Attach(f *fleet.Fleet, sched *Schedule, sup *Supervisor) error {
+	nodes := f.Nodes()
+	if len(nodes) == 0 {
+		return fmt.Errorf("chaos: attach to a fleet with no nodes")
+	}
+	if sched != nil {
+		for _, ev := range sched.Events {
+			if ev.Node < 0 || ev.Node >= len(nodes) {
+				return fmt.Errorf("chaos: event targets node %d of %d", ev.Node, len(nodes))
+			}
+		}
+	}
+	if sup != nil {
+		if sup.Deadline == 0 {
+			return fmt.Errorf("chaos: supervisor without a watchdog deadline")
+		}
+		if sup.HeartbeatEvery == 0 {
+			sup.HeartbeatEvery = sup.Deadline / 4
+			if sup.HeartbeatEvery == 0 {
+				sup.HeartbeatEvery = 1
+			}
+		}
+		sup.f = f
+		sup.costs = nodes[0].Costs
+		sup.marks = make([]mark, len(nodes))
+		sup.suspectedAt = make([]uint64, len(nodes))
+	}
+	f.OnRound = func(round int) error {
+		now := f.Clock().Cycles()
+		if sched != nil {
+			for sched.next < len(sched.Events) && sched.Events[sched.next].At <= now {
+				ev := sched.Events[sched.next]
+				sched.next++
+				n := nodes[ev.Node]
+				switch ev.Kind {
+				case KindCrash:
+					f.InjectCrash(n)
+				case KindFreeze:
+					f.InjectFreeze(n, ev.Dur)
+				case KindPartition:
+					f.InjectPartition(n, now+ev.Dur)
+				}
+			}
+		}
+		if sup != nil {
+			return sup.tick(now)
+		}
+		return nil
+	}
+	f.NextWake = func() (uint64, bool) {
+		var wake uint64
+		ok := false
+		if sched != nil && sched.next < len(sched.Events) {
+			wake, ok = sched.Events[sched.next].At, true
+		}
+		if sup != nil {
+			if w, wok := sup.pendingWake(); wok && (!ok || w < wake) {
+				wake, ok = w, true
+			}
+		}
+		return wake, ok
+	}
+	return nil
+}

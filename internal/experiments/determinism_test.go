@@ -59,6 +59,10 @@ func determinismCases() []struct {
 	e15 := DefaultE15Params()
 	e15.Requests = 120
 
+	e16 := DefaultE16Params()
+	e16.Requests = 80
+	e16.Horizon = 20_000_000
+
 	return []struct {
 		name string
 		run  func() *Table
@@ -81,6 +85,7 @@ func determinismCases() []struct {
 		{"E13", func() *Table { return RunE13(e13).Table() }},
 		{"E14", func() *Table { return RunE14(e14).Table() }},
 		{"E15", func() *Table { return RunE15(e15).Table() }},
+		{"E16", func() *Table { return RunE16(e16).Table() }},
 	}
 }
 

@@ -55,6 +55,60 @@ import (
 // design — only machines of the same fleet can open each other's envelopes.
 var fleetRootSecret = []byte("autarky-fleet-root")
 
+// Chaos outcome sentinels. Both mark tenants the fleet could not keep
+// running; Run does not treat either as a fleet failure (the caller reads
+// them off Tenant.Err), so an experiment can finish and account the damage.
+var (
+	// ErrCrashed marks a tenant taken down by a machine crash and never
+	// recovered: no supervisor was watching, or no checkpoint existed to
+	// restore from.
+	ErrCrashed = errors.New("fleet: tenant lost in machine crash")
+	// ErrShed marks a tenant the supervisor dropped because surviving EPC
+	// capacity could not hold it. It is ErrQuotaExceeded-family: to the
+	// caller, being shed for fleet capacity and being refused for enclave
+	// quota are the same class of resource exhaustion.
+	ErrShed = fmt.Errorf("fleet: tenant shed for surviving capacity: %w", libos.ErrQuotaExceeded)
+	// ErrHeartbeatMissed is what a watchdog probe of a silent machine
+	// surfaces. The fleet's own supervisor observes silence as the absence
+	// of beats rather than an error; the sentinel gives detection edges a
+	// nameable outcome for the orderliness model and tests.
+	ErrHeartbeatMissed = errors.New("fleet: heartbeat missed")
+)
+
+// NodeState is a machine's health, as the hardware actually is — failure
+// detection (the chaos supervisor's watchdog) works only from heartbeats and
+// never reads this directly.
+type NodeState int
+
+const (
+	// NodeHealthy machines step their dispatch loop and heartbeat.
+	NodeHealthy NodeState = iota
+	// NodeFrozen machines are stopped-the-world until their thaw cycle:
+	// no dispatch, no heartbeat, tasks parked exactly where they were.
+	NodeFrozen
+	// NodeCrashed machines are gone for good: their tasks were killed and
+	// their EPC contents are lost. They never step or beat again.
+	NodeCrashed
+	// NodeFenced machines were evacuated after a suspected failure and
+	// removed from service: alive but never stepped or placed on again.
+	NodeFenced
+)
+
+// String names the state for tables and errors.
+func (s NodeState) String() string {
+	switch s {
+	case NodeHealthy:
+		return "healthy"
+	case NodeFrozen:
+		return "frozen"
+	case NodeCrashed:
+		return "crashed"
+	case NodeFenced:
+		return "fenced"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
 // Node is one simulated machine of the fleet: a complete host (CPU, EPC,
 // page tables, kernel, paging backends) plus its dispatch loop. All nodes
 // share the fleet's clock; each has its own cost model, so a fleet can be
@@ -64,7 +118,32 @@ type Node struct {
 	Kernel *hostos.Kernel
 	Sched  *sched.Scheduler
 	Costs  *sim.Costs
+
+	state       NodeState
+	frozenUntil uint64 // thaw cycle while state == NodeFrozen
+	frozeAt     uint64 // freeze start, for downtime accounting
+	cordoned    bool   // supervisor: no new placements (suspect or fenced)
+	lastBeat    uint64 // cycle of the last published heartbeat
 }
+
+// State reports the node's health.
+func (n *Node) State() NodeState { return n.state }
+
+// LastBeat reports the cycle of the node's last published heartbeat — the
+// only failure signal the supervisor's watchdog is allowed to read.
+func (n *Node) LastBeat() uint64 { return n.lastBeat }
+
+// Cordoned reports whether the node is excluded from new placements.
+func (n *Node) Cordoned() bool { return n.cordoned }
+
+// SetCordoned marks the node in- or out- of the placement set. The
+// supervisor cordons a node the moment its heartbeat goes silent, so no
+// tenant is placed onto a machine that may already be dead.
+func (n *Node) SetCordoned(v bool) { n.cordoned = v }
+
+// Accepting reports whether placement may choose this node: it must be
+// healthy and not cordoned.
+func (n *Node) Accepting() bool { return n.state == NodeHealthy && !n.cordoned }
 
 // FreeFrames reports the node's free physical EPC frames.
 func (n *Node) FreeFrames() int { return n.Kernel.CPU.EPC.FreeFrames() }
@@ -107,6 +186,16 @@ type Tenant struct {
 	// backlog drains (e.g. service.Server.Drain). Tenants without a Pause
 	// hook cannot be migrated while running.
 	Pause func(t *Tenant)
+	// Crash, when set, tears down the tenant's host-side frontend state
+	// after its machine crash-stops (e.g. service.Server.Crash): account
+	// every admitted-but-unserved request as lost, reset connections, and
+	// leave the frontend rebindable. It returns the number of requests the
+	// crash lost. Without the hook a crash loses requests silently, which
+	// the availability account cannot tolerate for serving tenants.
+	Crash func(t *Tenant) uint64
+	// Partition, when set, severs the tenant's service channel until the
+	// given absolute cycle (e.g. service.Server.Partition).
+	Partition func(t *Tenant, until uint64)
 
 	node       *Node
 	proc       *libos.Process
@@ -116,6 +205,11 @@ type Tenant struct {
 	migrations int
 	lastMove   int
 	err        error
+
+	cp        *libos.Checkpoint // latest periodic checkpoint
+	cpAt      uint64            // cycle it was taken
+	down      bool              // taken out by a machine failure, not yet recovered
+	downSince uint64            // cycle the failure hit
 }
 
 // Node returns the machine currently hosting the tenant (nil before
@@ -128,8 +222,17 @@ func (t *Tenant) Proc() *libos.Process { return t.proc }
 // Migrations reports how many times the tenant has moved.
 func (t *Tenant) Migrations() int { return t.migrations }
 
-// Err returns the first error any incarnation's body returned.
+// Err returns the first error any incarnation's body returned, or a chaos
+// outcome sentinel (ErrCrashed, ErrShed) for tenants the fleet lost.
 func (t *Tenant) Err() error { return t.err }
+
+// Down reports whether the tenant is currently taken out by a machine
+// failure and not yet recovered.
+func (t *Tenant) Down() bool { return t.down }
+
+// LastCheckpoint reports the cycle of the tenant's latest periodic
+// checkpoint, and whether one exists.
+func (t *Tenant) LastCheckpoint() (uint64, bool) { return t.cpAt, t.cp != nil }
 
 // Cycles is the tenant's total machine-clock share: scheduler-attributed
 // cycles accumulated across every incarnation on every node.
@@ -165,11 +268,21 @@ func (t *Tenant) movable() bool {
 	return t.task != nil && !t.task.Done() && t.Pause != nil
 }
 
-// Stats is the fleet's elasticity account.
+// Stats is the fleet's elasticity and availability account.
 type Stats struct {
 	Migrations     int    // completed tenant moves
 	Rebalances     int    // policy scans that produced at least one move
 	DowntimeCycles uint64 // total cycles tenants spent paused mid-move
+
+	// Chaos: injected failures and what healing cost.
+	Failures         int    // machine failures injected (crashes, freezes, partitions)
+	HeartbeatsMissed int    // watchdog deadlines a node's heartbeat missed
+	Failovers        int    // tenants evacuated off a suspect machine via Quiesce/Adopt
+	Restarts         int    // tenants restarted from a periodic checkpoint
+	Shed             int    // tenants dropped for lack of surviving EPC capacity
+	FailureDowntime  uint64 // cycles tenants spent down from machine failures, summed
+	LostRequests     uint64 // admitted requests lost to machine crashes
+	RecoveryPointAge uint64 // checkpoint age at each failure recovered from, summed
 }
 
 // Fleet is N machines, their tenants, and the placement policy that binds
@@ -184,9 +297,26 @@ type Fleet struct {
 	// scheduling rounds (0 disables rebalancing).
 	RebalanceEvery int
 
+	// CheckpointEvery takes a periodic checkpoint of every running tenant
+	// every that many scheduling rounds (0 disables checkpointing). The
+	// checkpoint is the supervisor's recovery point after a machine crash;
+	// its capture cost is charged on the shared clock like any other work.
+	CheckpointEvery int
+
 	// OnMigrate, when set, observes every completed move (after the tenant
 	// is respawned on its destination).
 	OnMigrate func(t *Tenant, from, to *Node)
+
+	// OnRound, when set, runs between scheduling rounds — the chaos layer's
+	// entry point: the failure schedule injects here and the supervisor's
+	// heartbeat/watchdog machinery runs here. A non-nil error aborts Run.
+	OnRound func(round int) error
+
+	// NextWake, when set, reports the next cycle at which OnRound has work
+	// pending even though no task is runnable (a watchdog deadline about to
+	// expire, an unfired failure event). Without it, an idle fleet with a
+	// downed tenant would stop before the supervisor could heal it.
+	NextWake func() (uint64, bool)
 
 	clock   *sim.Clock
 	m       *metrics.Metrics
@@ -290,13 +420,15 @@ func (f *Fleet) spawn(t *Tenant) {
 }
 
 // collect folds a finished (or drained) task's cycle account into the
-// tenant and releases the task slot.
+// tenant and releases the task slot. ErrCrashed marks a crash-stop kill,
+// not a body failure: the tenant may yet be recovered, so it is not folded
+// into the tenant's error (Run finalizes it for tenants still down).
 func (f *Fleet) collect(t *Tenant) {
 	if t.task == nil {
 		return
 	}
 	t.cycles += t.task.Metrics().Cycles
-	if err := t.task.Err(); err != nil && t.err == nil {
+	if err := t.task.Err(); err != nil && t.err == nil && !errors.Is(err, ErrCrashed) {
 		t.err = err
 	}
 	t.task = nil
@@ -340,6 +472,12 @@ func (f *Fleet) Migrate(t *Tenant, to *Node) error {
 	}
 	if to == t.node {
 		return fmt.Errorf("fleet: migrate %s: already on %s", t.Name, to.Name)
+	}
+	if t.node.state != NodeHealthy {
+		return fmt.Errorf("fleet: migrate %s: source %s is %s", t.Name, t.node.Name, t.node.state)
+	}
+	if to.state != NodeHealthy {
+		return fmt.Errorf("fleet: migrate %s: destination %s is %s", t.Name, to.Name, to.state)
 	}
 	from := t.node
 	start := f.clock.Cycles()
@@ -404,16 +542,307 @@ func (f *Fleet) Rebalance() (int, error) {
 	return moved, nil
 }
 
-// Run drives the fleet to completion: admit tenants as they come due, step
-// every node's dispatch loop round-robin, rebalance on cadence, and idle
-// the clock forward to the next admission when nothing is runnable. It
-// returns the first tenant body error (in registration order) once every
-// tenant has finished.
+// InjectCrash crash-stops a machine: its tasks are killed where they stand
+// (mid-quantum work abandoned, exactly as a power loss would), its EPC
+// contents are lost for good, and it never steps or heartbeats again. Each
+// hosted tenant's Crash hook accounts the requests the crash lost; the
+// tenant is marked down until (and unless) a supervisor recovers it from a
+// checkpoint. Injecting a crash into an already-crashed machine is a no-op.
+func (f *Fleet) InjectCrash(n *Node) {
+	if n.state == NodeCrashed {
+		return
+	}
+	now := f.clock.Cycles()
+	n.state = NodeCrashed
+	n.cordoned = true
+	f.stats.Failures++
+	f.m.Inc(metrics.CntChaosFailures)
+	for _, t := range f.tenants {
+		if t.node != n || t.task == nil || t.task.Done() {
+			continue
+		}
+		n.Sched.Kill(t.task, ErrCrashed)
+		f.collect(t)
+		t.proc = nil // the enclave died with the machine
+		t.down = true
+		t.downSince = now
+		if t.Crash != nil {
+			lost := t.Crash(t)
+			f.stats.LostRequests += lost
+			f.m.Add(metrics.CntChaosLostRequests, lost)
+		}
+	}
+}
+
+// InjectFreeze stops a machine's world for the given number of cycles: no
+// dispatch, no heartbeat, tasks parked exactly where they were. The machine
+// thaws by itself when the fleet clock reaches the deadline; the freeze is
+// charged to each hosted tenant's failure downtime at thaw. Freezing a
+// crashed or already-frozen machine is a no-op.
+func (f *Fleet) InjectFreeze(n *Node, cycles uint64) {
+	if n.state != NodeHealthy {
+		return
+	}
+	now := f.clock.Cycles()
+	n.state = NodeFrozen
+	n.frozeAt = now
+	n.frozenUntil = now + cycles
+	f.stats.Failures++
+	f.m.Inc(metrics.CntChaosFailures)
+}
+
+// InjectPartition severs the service channels of every tenant on a machine
+// until the given absolute cycle: their in-flight requests and replies are
+// lost in transit (clients see ErrConnReset) while the machine itself keeps
+// running and heartbeating — the classic partition the watchdog must NOT
+// confuse with a crash. Tenants without a Partition hook are unaffected.
+func (f *Fleet) InjectPartition(n *Node, until uint64) {
+	if n.state == NodeCrashed || n.state == NodeFenced {
+		return
+	}
+	f.stats.Failures++
+	f.m.Inc(metrics.CntChaosFailures)
+	for _, t := range f.tenants {
+		if t.node == n && t.Partition != nil {
+			t.Partition(t, until)
+		}
+	}
+}
+
+// Heartbeat publishes a heartbeat from every machine able to speak — the
+// healthy ones, including cordoned suspects that turned out to be alive.
+// Each beat is one shared-memory write, charged to the policy category on
+// the beating node's cost model. The supervisor calls this on its cadence;
+// the watchdog then reads LastBeat and nothing else.
+func (f *Fleet) Heartbeat() {
+	now := f.clock.Cycles()
+	for _, n := range f.nodes {
+		if n.state != NodeHealthy {
+			continue
+		}
+		f.clock.ChargeAs(sim.CatPolicy, n.Costs.FleetHeartbeat)
+		n.lastBeat = now
+	}
+}
+
+// NoteHeartbeatMiss records one watchdog deadline a node's heartbeat
+// missed (the supervisor's detection events, kept on the fleet account so
+// the experiment tables read from one place).
+func (f *Fleet) NoteHeartbeatMiss(n *Node) {
+	f.stats.HeartbeatsMissed++
+	f.m.Inc(metrics.CntChaosHeartbeatMiss)
+}
+
+// Recover restarts a downed tenant from its latest periodic checkpoint on
+// another machine: the sealed checkpoint (fleet machines share the
+// provisioned sealing root) is rebuilt under the destination's EPC geometry
+// and cost model, the tenant's Prepare hook rebinds its frontend, and the
+// incarnation respawns. Progress since the checkpoint is gone — that loss
+// is the recovery-point age, recorded per restart.
+func (f *Fleet) Recover(t *Tenant, to *Node) error {
+	if !t.down {
+		return fmt.Errorf("fleet: recover %s: not down", t.Name)
+	}
+	if t.cp == nil {
+		return fmt.Errorf("fleet: recover %s: no checkpoint", t.Name)
+	}
+	if to.state != NodeHealthy {
+		return fmt.Errorf("fleet: recover %s: destination %s is %s", t.Name, to.Name, to.state)
+	}
+	start := f.clock.Cycles()
+	p, err := libos.Restore(to.Kernel, f.clock, to.Costs, t.cp)
+	if err != nil {
+		return fmt.Errorf("fleet: recover %s on %s: %w", t.Name, to.Name, err)
+	}
+	t.node, t.proc = to, p
+	if t.Prepare != nil {
+		if err := t.Prepare(t, p, false); err != nil {
+			return fmt.Errorf("fleet: prepare %s on %s: %w", t.Name, to.Name, err)
+		}
+	}
+	f.spawn(t)
+	now := f.clock.Cycles()
+	t.down = false
+	t.lastMove = f.round
+	f.stats.Restarts++
+	f.m.Inc(metrics.CntChaosRestarts)
+	f.m.Inc(metrics.CntRestores)
+	f.m.Add(metrics.CntRestoreCycles, now-start)
+	down := now - t.downSince
+	f.stats.FailureDowntime += down
+	f.m.Add(metrics.CntChaosDowntime, down)
+	age := t.downSince - t.cpAt
+	f.stats.RecoveryPointAge += age
+	f.m.Add(metrics.CntChaosRPAge, age)
+	return nil
+}
+
+// shed drops a tenant the surviving fleet cannot hold. A still-running
+// tenant (shed during an evacuation) is killed and its frontend crash
+// account settled; a downed tenant just stays down. Either way the tenant
+// ends with ErrShed and its downtime keeps accruing until the run ends.
+func (f *Fleet) shed(t *Tenant) {
+	now := f.clock.Cycles()
+	if t.task != nil && !t.task.Done() {
+		t.node.Sched.Kill(t.task, ErrCrashed)
+		f.collect(t)
+		if t.Crash != nil {
+			lost := t.Crash(t)
+			f.stats.LostRequests += lost
+			f.m.Add(metrics.CntChaosLostRequests, lost)
+		}
+	}
+	if !t.down {
+		t.down = true
+		t.downSince = now
+	}
+	if t.err == nil {
+		t.err = ErrShed
+	}
+	f.stats.Shed++
+	f.m.Inc(metrics.CntChaosShed)
+}
+
+// FailOver recovers the tenants of a machine the supervisor has declared
+// dead: highest-priority first (registration order breaking ties), each is
+// restored from its checkpoint onto a policy-chosen surviving machine.
+// Tenants without a checkpoint are lost (ErrCrashed); tenants nothing can
+// hold are shed (ErrShed).
+func (f *Fleet) FailOver(n *Node) error {
+	var down []*Tenant
+	for _, t := range f.tenants {
+		if t.node == n && t.down {
+			down = append(down, t)
+		}
+	}
+	// Insertion sort by priority, descending; registration order is the
+	// stable tiebreak. The list is a handful of tenants.
+	for i := 1; i < len(down); i++ {
+		for j := i; j > 0 && down[j].Config.Priority > down[j-1].Config.Priority; j-- {
+			down[j], down[j-1] = down[j-1], down[j]
+		}
+	}
+	for _, t := range down {
+		if t.cp == nil {
+			if t.err == nil {
+				t.err = ErrCrashed
+			}
+			continue
+		}
+		dst := f.policy.Place(f, t)
+		if dst == nil || dst == n {
+			f.shed(t)
+			continue
+		}
+		if err := f.Recover(t, dst); err != nil {
+			return err
+		}
+		f.stats.Failovers++
+		f.m.Inc(metrics.CntChaosFailovers)
+	}
+	return nil
+}
+
+// Evacuate moves every movable tenant off a suspect-but-alive machine onto
+// policy-chosen healthy ones through the ordinary Quiesce/Adopt migration
+// path, then fences the machine for good: a host that went silent once is
+// not trusted with tenants again (the cordon-and-drain discipline that
+// avoids split-brain). Tenants nothing can hold are shed.
+func (f *Fleet) Evacuate(n *Node) (int, error) {
+	// Cordon first so the placement policy can never pick the machine being
+	// drained as its own destination.
+	n.cordoned = true
+	moved := 0
+	for _, t := range f.tenants {
+		if t.node != n || !t.movable() {
+			continue
+		}
+		dst := f.policy.Place(f, t)
+		if dst == nil || dst == n {
+			f.shed(t)
+			continue
+		}
+		if err := f.Migrate(t, dst); err != nil {
+			return moved, err
+		}
+		moved++
+		f.stats.Failovers++
+		f.m.Inc(metrics.CntChaosFailovers)
+	}
+	n.state = NodeFenced
+	n.cordoned = true
+	return moved, nil
+}
+
+// thawDue resumes machines whose freeze deadline has passed, charging each
+// hosted tenant's stopped time to the failure-downtime account. A thawed
+// machine goes back to work immediately; whether it stays in the placement
+// set is the supervisor's call (it stays cordoned if the watchdog fired
+// during the freeze).
+func (f *Fleet) thawDue() {
+	now := f.clock.Cycles()
+	for _, n := range f.nodes {
+		if n.state != NodeFrozen || now < n.frozenUntil {
+			continue
+		}
+		n.state = NodeHealthy
+		for _, t := range f.tenants {
+			if t.node != n || t.task == nil || t.task.Done() {
+				continue
+			}
+			down := now - n.frozeAt
+			f.stats.FailureDowntime += down
+			f.m.Add(metrics.CntChaosDowntime, down)
+		}
+	}
+}
+
+// checkpointAll seals a periodic checkpoint of every running tenant on a
+// healthy machine. Between rounds every task is parked outside its enclave,
+// so the capture drives the real read path against a quiescent image; the
+// stale quantum deadline is disarmed first so the capture does not take a
+// phantom preemption.
+func (f *Fleet) checkpointAll() error {
+	now := f.clock.Cycles()
+	for _, t := range f.tenants {
+		if t.node == nil || t.proc == nil || t.down {
+			continue
+		}
+		if t.node.state != NodeHealthy {
+			continue
+		}
+		if t.task == nil || t.task.Done() {
+			continue
+		}
+		t.node.Kernel.CPU.PreemptAt = 0
+		cp, err := t.proc.Checkpoint()
+		if err != nil {
+			return fmt.Errorf("fleet: checkpoint %s on %s: %w", t.Name, t.node.Name, err)
+		}
+		t.cp, t.cpAt = cp, now
+	}
+	return nil
+}
+
+// Run drives the fleet to completion: thaw machines whose freeze expired,
+// run the chaos hook (injection and supervision), admit tenants as they come
+// due, step every healthy node's dispatch loop round-robin, rebalance and
+// checkpoint on cadence, and idle the clock forward to the next admission,
+// thaw, or chaos deadline when nothing is runnable. It returns the first
+// tenant body error (in registration order) once every tenant has finished;
+// chaos outcomes (ErrCrashed, ErrShed) are not fleet failures — they stay on
+// Tenant.Err for the caller to account.
 func (f *Fleet) Run() error {
 	if err := f.validate(); err != nil {
 		return err
 	}
 	for {
+		f.thawDue()
+		if f.OnRound != nil {
+			if err := f.OnRound(f.round); err != nil {
+				return err
+			}
+		}
 		pendingAt, pending := f.admitDue()
 		for _, t := range f.tenants {
 			if t.task != nil && t.task.Done() {
@@ -422,6 +851,9 @@ func (f *Fleet) Run() error {
 		}
 		any := false
 		for _, n := range f.nodes {
+			if n.state != NodeHealthy {
+				continue
+			}
 			if n.Sched.Step() {
 				any = true
 			}
@@ -431,27 +863,66 @@ func (f *Fleet) Run() error {
 				return err
 			}
 		}
+		if f.CheckpointEvery > 0 && f.round > 0 && f.round%f.CheckpointEvery == 0 {
+			if err := f.checkpointAll(); err != nil {
+				return err
+			}
+		}
 		f.round++
 		if !any {
-			if !pending {
+			wake, ok := f.nextWake(pendingAt, pending)
+			if !ok {
 				break
 			}
-			// The whole fleet is idle but tenants are still due: advance
-			// the clock to the next arrival instead of spinning.
-			if now := f.clock.Cycles(); pendingAt > now {
-				f.clock.ChargeAs(sim.CatCompute, pendingAt-now)
+			// The whole fleet is idle but something is still due (an
+			// admission, a thaw, a chaos deadline): advance the clock there
+			// instead of spinning. A hook deadline already in the past still
+			// advances one cycle, so a misbehaving hook cannot stall time.
+			now := f.clock.Cycles()
+			if wake <= now {
+				wake = now + 1
+			}
+			f.clock.ChargeAs(sim.CatCompute, wake-now)
+		}
+	}
+	now := f.clock.Cycles()
+	for _, t := range f.tenants {
+		f.collect(t)
+		if t.down {
+			// Never recovered: unavailable from the failure to the end of
+			// the run, and lost for good.
+			down := now - t.downSince
+			f.stats.FailureDowntime += down
+			f.m.Add(metrics.CntChaosDowntime, down)
+			t.down = false
+			if t.err == nil {
+				t.err = ErrCrashed
 			}
 		}
 	}
 	for _, t := range f.tenants {
-		f.collect(t)
-	}
-	for _, t := range f.tenants {
-		if t.err != nil {
+		if t.err != nil && !errors.Is(t.err, ErrCrashed) && !errors.Is(t.err, ErrShed) {
 			return fmt.Errorf("fleet: tenant %s: %w", t.Name, t.err)
 		}
 	}
 	return nil
+}
+
+// nextWake folds the three reasons an idle fleet must keep going: a future
+// admission, a frozen machine's thaw, and the chaos hook's next deadline.
+func (f *Fleet) nextWake(pendingAt uint64, pending bool) (uint64, bool) {
+	wake, ok := pendingAt, pending
+	for _, n := range f.nodes {
+		if n.state == NodeFrozen && (!ok || n.frozenUntil < wake) {
+			wake, ok = n.frozenUntil, true
+		}
+	}
+	if f.NextWake != nil {
+		if w, wok := f.NextWake(); wok && (!ok || w < wake) {
+			wake, ok = w, true
+		}
+	}
+	return wake, ok
 }
 
 // admitDue admits every tenant whose arrival cycle has passed; it returns

@@ -24,12 +24,12 @@ type FirstFit struct{}
 // Name implements Policy.
 func (FirstFit) Name() string { return "first-fit" }
 
-// Place implements Policy: the first node whose free EPC covers the
-// tenant's footprint.
+// Place implements Policy: the first accepting node (healthy, not
+// cordoned) whose free EPC covers the tenant's footprint.
 func (FirstFit) Place(f *Fleet, t *Tenant) *Node {
 	need := t.footprint()
 	for _, n := range f.nodes {
-		if n.FreeFrames() >= need {
+		if n.Accepting() && n.FreeFrames() >= need {
 			return n
 		}
 	}
@@ -68,7 +68,9 @@ func (w Watermark) Place(f *Fleet, t *Tenant) *Node {
 func (w Watermark) Rebalance(f *Fleet) []Move {
 	var moves []Move
 	for _, n := range f.nodes {
-		if n.Occupancy() <= w.High {
+		// Only a healthy machine can drain a tenant for a move; failed and
+		// fenced machines are the supervisor's problem, not the balancer's.
+		if n.state != NodeHealthy || n.Occupancy() <= w.High {
 			continue
 		}
 		// The most recently placed movable tenant on the hot node: undoing
@@ -90,7 +92,7 @@ func (w Watermark) Rebalance(f *Fleet) []Move {
 		var dst *Node
 		dstOcc := 0.0
 		for _, d := range f.nodes {
-			if d == n || d.FreeFrames() < need {
+			if d == n || !d.Accepting() || d.FreeFrames() < need {
 				continue
 			}
 			occ := d.Occupancy()

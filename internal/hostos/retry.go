@@ -40,16 +40,32 @@ func DefaultRetryPolicy() RetryPolicy {
 	return RetryPolicy{Attempts: 4, BackoffBase: 2000, BackoffCap: 32000}
 }
 
-// Validate rejects malformed policies.
+// RetryPolicyError is a validation failure that names the offending
+// RetryPolicy field ("Attempts", "BackoffBase", "BackoffCap"), so callers
+// building user-facing configuration errors can point at the exact knob.
+type RetryPolicyError struct {
+	Field  string
+	Reason string
+}
+
+func (e *RetryPolicyError) Error() string {
+	return fmt.Sprintf("hostos: retry %s %s", e.Field, e.Reason)
+}
+
+// Validate rejects malformed policies with a field-specific
+// *RetryPolicyError.
 func (rp RetryPolicy) Validate() error {
 	if rp.Attempts < 1 {
-		return fmt.Errorf("hostos: retry Attempts = %d, want >= 1", rp.Attempts)
+		return &RetryPolicyError{Field: "Attempts",
+			Reason: fmt.Sprintf("= %d, want >= 1", rp.Attempts)}
 	}
 	if rp.Attempts > 1 && rp.BackoffBase == 0 {
-		return fmt.Errorf("hostos: retry BackoffBase = 0 with Attempts = %d (retries must cost cycles)", rp.Attempts)
+		return &RetryPolicyError{Field: "BackoffBase",
+			Reason: fmt.Sprintf("= 0 with Attempts = %d (retries must cost cycles)", rp.Attempts)}
 	}
 	if rp.BackoffCap > 0 && rp.BackoffCap < rp.BackoffBase {
-		return fmt.Errorf("hostos: retry BackoffCap = %d below BackoffBase = %d", rp.BackoffCap, rp.BackoffBase)
+		return &RetryPolicyError{Field: "BackoffCap",
+			Reason: fmt.Sprintf("= %d below BackoffBase = %d", rp.BackoffCap, rp.BackoffBase)}
 	}
 	return nil
 }

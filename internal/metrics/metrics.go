@@ -148,6 +148,17 @@ const (
 	CntMigrationDowntime // cycles between quiesce start and destination resume
 	CntFleetRebalances   // fleet rebalance scans that produced at least one move
 
+	// Chaos engineering + supervised self-healing (internal/chaos,
+	// internal/fleet supervisor).
+	CntChaosFailures      // whole-machine failures injected (crashes, freezes, partitions)
+	CntChaosHeartbeatMiss // watchdog deadlines a machine's heartbeat missed
+	CntChaosFailovers     // tenants evacuated off a failed machine via Quiesce/Adopt
+	CntChaosRestarts      // tenants restarted from a periodic checkpoint
+	CntChaosShed          // tenants shed because surviving EPC capacity could not hold them
+	CntChaosDowntime      // cycles tenants spent down (failure to recovery), summed
+	CntChaosLostRequests  // admitted requests lost to machine crashes
+	CntChaosRPAge         // recovery-point age at each restart (cycles of lost progress), summed
+
 	// NumCounters is the array size, not a counter.
 	NumCounters
 )
@@ -257,6 +268,15 @@ var counterNames = [NumCounters]string{
 	CntAdoptsRejected:    "migrate.rejected",
 	CntMigrationDowntime: "migrate.downtime_cycles",
 	CntFleetRebalances:   "fleet.rebalances",
+
+	CntChaosFailures:      "chaos.failures",
+	CntChaosHeartbeatMiss: "chaos.heartbeats_missed",
+	CntChaosFailovers:     "chaos.failovers",
+	CntChaosRestarts:      "chaos.restarts",
+	CntChaosShed:          "chaos.shed_tenants",
+	CntChaosDowntime:      "chaos.downtime_cycles",
+	CntChaosLostRequests:  "chaos.lost_requests",
+	CntChaosRPAge:         "chaos.recovery_point_age",
 }
 
 // Name returns the counter's stable wire name.

@@ -1,7 +1,8 @@
 // Package orderly is an explicit-state model checker for the enclave
 // lifecycle. It drives the real hostos.Kernel, sgx.CPU and libos APIs —
 // load, run, suspend/resume, checkpoint/restore, destroy, synthetic fault
-// and timer deliveries, backing-store tampering and backend swaps — through
+// and timer deliveries, backing-store tampering, backend swaps and (in
+// Crash scenarios) host crash-stop with blind watchdog detection — through
 // exhaustively enumerated adversarial interleavings, and checks every step
 // against a declarative expectation table (spec.go): legal prefixes
 // succeed, illegal reorderings return their documented sentinels, and
@@ -31,6 +32,7 @@ import (
 	"strings"
 
 	"autarky/internal/core"
+	"autarky/internal/fleet"
 	"autarky/internal/hostos"
 	"autarky/internal/libos"
 	"autarky/internal/mmu"
@@ -88,6 +90,22 @@ const (
 	// the world's counter service; replaying a committed envelope probes
 	// the freshness check.
 	OpAdopt
+	// OpCrash crash-stops the host under the running incarnation (only in
+	// Crash scenarios). Nature's move: it always lands, and from then on
+	// the incarnation is unreachable — only the watchdog edges below can
+	// observe or recover it.
+	OpCrash
+	// OpHeartbeat is the supervisor's blind liveness probe: it answers on
+	// a host that is up and misses (ErrHeartbeatMissed) on one that is
+	// down. Two consecutive misses are the death certificate failover
+	// requires.
+	OpHeartbeat
+	// OpFailover is the supervisor's recovery move: fence the lost
+	// incarnation's leftover registration and restore the latest
+	// checkpoint into the vacated range. Attempted without a death
+	// certificate it is the split-brain probe — the live (or
+	// not-yet-declared-dead) incarnation refuses it.
+	OpFailover
 
 	// NumOps is the alphabet size.
 	NumOps
@@ -96,7 +114,8 @@ const (
 var opNames = [NumOps]string{
 	"load", "load-bad", "run", "suspend", "resume", "checkpoint",
 	"restore", "restore-bad", "destroy", "fault", "timer", "tamper",
-	"tamper-pinned", "swap-backend", "quiesce", "adopt",
+	"tamper-pinned", "swap-backend", "quiesce", "adopt", "crash",
+	"heartbeat", "failover",
 }
 
 // String names the operation (stable: counterexample traces parse by name).
@@ -140,6 +159,10 @@ const (
 	// its address range is vacant, but the handle still answers (with
 	// ErrMigrated).
 	PhaseMigrated
+	// PhaseCrashed: the host under the incarnation crash-stopped. The
+	// enclave's kernel registration is intact but unreachable; only the
+	// watchdog edges (heartbeat, failover) are defined here.
+	PhaseCrashed
 )
 
 // String names the phase.
@@ -159,6 +182,8 @@ func (p Phase) String() string {
 		return "destroyed"
 	case PhaseMigrated:
 		return "migrated"
+	case PhaseCrashed:
+		return "crashed"
 	default:
 		return fmt.Sprintf("Phase(%d)", int(p))
 	}
@@ -183,6 +208,10 @@ type Scenario struct {
 	// Migration enables the quiesce/adopt alphabet (the live-migration
 	// handshake and its misuse edges).
 	Migration bool
+	// Crash enables the chaos alphabet (crash-stop, heartbeat, failover):
+	// the checker interleaves host failure and blind detection with the
+	// rest of the lifecycle.
+	Crash bool
 }
 
 // Tight reports whether the quota forces paging traffic.
@@ -199,8 +228,14 @@ func DefaultScenarios() []Scenario {
 		{Name: "sp-sgx2", SelfPaging: true, Mech: core.MechSGX2, QuotaPages: 6, HeapPages: 6},
 		{Name: "sp-sgx1-replay", SelfPaging: true, Mech: core.MechSGX1, QuotaPages: 6, HeapPages: 6, Replay: true},
 		{Name: "sp-migrate", SelfPaging: true, Mech: core.MechSGX1, QuotaPages: 6, HeapPages: 6, Migration: true},
+		{Name: "sp-crash", SelfPaging: true, Mech: core.MechSGX1, QuotaPages: 6, HeapPages: 6, Migration: true, Crash: true},
 	}
 }
+
+// watchdogBeats is how many consecutive missed heartbeats constitute a
+// death certificate — the model mirrors the chaos supervisor's two-deadline
+// discipline (suspect on the first silence, declare dead on the second).
+const watchdogBeats = 2
 
 // ScenarioByName resolves a scenario from DefaultScenarios.
 func ScenarioByName(name string) (Scenario, bool) {
@@ -250,6 +285,14 @@ type world struct {
 	// correct content for never-written pages), and runtime evictions
 	// exist only after a run — so OpTamper gates on this for SGXv2.
 	ranSinceLoad bool
+	// hostDown: the host under the incarnation crash-stopped (OpCrash).
+	// This is chaos-model ground truth, like the fleet's NodeState: the
+	// supervisor's moves never read it directly, they observe it through
+	// missed heartbeats.
+	hostDown bool
+	// missedBeats counts consecutive heartbeat misses since the crash;
+	// reaching watchdogBeats is the death certificate.
+	missedBeats int
 }
 
 func newWorld(sc Scenario) *world {
@@ -305,6 +348,9 @@ func (w *world) phase() Phase {
 	if w.destroyed {
 		return PhaseDestroyed
 	}
+	if w.hostDown {
+		return PhaseCrashed
+	}
 	if dead, reason, _ := w.proc.Proc.E.Dead(); dead {
 		if reason == sgx.TerminateMigrated {
 			return PhaseMigrated
@@ -329,17 +375,21 @@ type cond struct {
 	// MigFresh: a migration envelope exists whose epoch the counter
 	// service has not committed yet (only a fresh envelope may adopt).
 	MigFresh bool
+	// WatchdogExpired: the supervisor holds a death certificate — the
+	// host has missed watchdogBeats consecutive heartbeats.
+	WatchdogExpired bool
 }
 
 func (w *world) cond() cond {
 	return cond{
-		Phase:          w.phase(),
-		SelfPaging:     w.sc.SelfPaging,
-		Tight:          w.sc.Tight(),
-		TamperedHeap:   w.tamperedHeap,
-		TamperedPinned: w.tamperedPinned,
-		HasCheckpoint:  w.cp != nil,
-		MigFresh:       w.mig != nil && !w.migCommitted,
+		Phase:           w.phase(),
+		SelfPaging:      w.sc.SelfPaging,
+		Tight:           w.sc.Tight(),
+		TamperedHeap:    w.tamperedHeap,
+		TamperedPinned:  w.tamperedPinned,
+		HasCheckpoint:   w.cp != nil,
+		MigFresh:        w.mig != nil && !w.migCommitted,
+		WatchdogExpired: w.hostDown && w.missedBeats >= watchdogBeats,
 	}
 }
 
@@ -539,6 +589,53 @@ func (w *world) apply(op Op) error {
 			w.migCommitted = true
 		}
 		return err
+
+	case OpCrash:
+		// Nature's move: the host crash-stops under a running incarnation.
+		// Crash-while-suspended is a documented gap (the one-machine fence
+		// below cannot retire a suspended registration).
+		if !w.sc.Crash || w.hostDown || w.phase() != PhaseLoaded {
+			return errSkip
+		}
+		w.hostDown, w.missedBeats = true, 0
+		return nil
+
+	case OpHeartbeat:
+		// The supervisor's blind probe: it observes only silence, never
+		// the hostDown flag itself.
+		if !w.sc.Crash {
+			return errSkip
+		}
+		if w.hostDown {
+			w.missedBeats++
+			return fleet.ErrHeartbeatMissed
+		}
+		w.missedBeats = 0
+		return nil
+
+	case OpFailover:
+		if !w.sc.Crash || w.cp == nil {
+			return errSkip
+		}
+		if w.hostDown && w.missedBeats >= watchdogBeats {
+			// Death certificate in hand: fence the lost incarnation —
+			// retire its leftover registration exactly as a failed-over
+			// machine disappears from the fleet, vacating the range the
+			// checkpoint restores into.
+			if err := k.RetireEnclave(w.proc.Proc); err != nil {
+				return err
+			}
+		}
+		// Without the certificate this is the split-brain probe: a blind
+		// restore onto a range whose incarnation was never declared dead.
+		p, err := libos.Restore(k, w.clock, &w.costs, w.cp)
+		if err == nil {
+			w.proc, w.destroyed = p, false
+			w.tamperedHeap, w.tamperedPinned = false, false
+			w.ranSinceLoad = false
+			w.hostDown, w.missedBeats = false, 0
+		}
+		return err
 	}
 	return errSkip
 }
@@ -565,6 +662,16 @@ func (w *world) digest() uint64 {
 		w.tamperedHeap, w.tamperedPinned, w.cp != nil, w.ranSinceLoad, w.kernel.Store.Len())
 	if w.mig != nil {
 		fmt.Fprintf(&b, "|mig=%v", w.migCommitted)
+	}
+	if w.sc.Crash {
+		// Missed beats beyond the death certificate behave identically, so
+		// the digest caps them — otherwise every extra heartbeat on a dead
+		// host would mint a "new" state and defeat pruning.
+		beats := w.missedBeats
+		if beats > watchdogBeats {
+			beats = watchdogBeats
+		}
+		fmt.Fprintf(&b, "|down=%v|beats=%d", w.hostDown, beats)
 	}
 	if w.proc != nil && !w.destroyed {
 		fmt.Fprintf(&b, "|prog=%d|fp=%x",

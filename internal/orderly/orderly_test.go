@@ -123,6 +123,24 @@ func TestMutationYieldsCounterexample(t *testing.T) {
 				return r.Op == OpRun && hasPhase(r, PhaseAbsent)
 			}, is(hostos.ErrSuspended)),
 		},
+		{
+			// Claim a failover without a death certificate succeeds — the
+			// split-brain restore the supervisor discipline must refuse.
+			name:     "failover-premature-ok",
+			scenario: "sp-crash",
+			spec: mutate(t, func(r Rule) bool {
+				return r.Op == OpFailover && hasPhase(r, PhaseCrashed) &&
+					r.WatchdogExpired == No
+			}, ok()),
+		},
+		{
+			// Claim a failover onto a host that is still beating succeeds.
+			name:     "failover-splitbrain-ok",
+			scenario: "sp-crash",
+			spec: mutate(t, func(r Rule) bool {
+				return r.Op == OpFailover && hasPhase(r, PhaseLoaded)
+			}, ok()),
+		},
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -179,6 +197,16 @@ func TestReplayConformingTrace(t *testing.T) {
 		"sp-sgx1-roomy:load>suspend>tamper-pinned>resume",
 		"sp-sgx1:load>tamper>run>destroy>load",
 		"sp-sgx1-replay:load>run>tamper>run",
+		// The supervised crash lifecycle: checkpoint, crash, two missed
+		// beats (the death certificate), failover, and the recovered
+		// incarnation runs.
+		"sp-crash:load>checkpoint>crash>heartbeat>heartbeat>failover>run",
+		// A premature failover is refused (one missed beat is suspicion,
+		// not death); the next miss completes the certificate.
+		"sp-crash:load>checkpoint>crash>heartbeat>failover>heartbeat>failover",
+		// Failure detection interleaved with migration: the crash lands on
+		// the adopted incarnation and recovery goes through its checkpoint.
+		"sp-crash:load>quiesce>adopt>checkpoint>crash>heartbeat>heartbeat>failover",
 	} {
 		sc, ops, err := ParseTrace(trace)
 		if err != nil {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"autarky/internal/fleet"
 	"autarky/internal/hostos"
 	"autarky/internal/libos"
 	"autarky/internal/pagestore"
@@ -128,12 +129,13 @@ type Rule struct {
 	// Phases guards the lifecycle phase (empty = any).
 	Phases []Phase
 	// Guards over the condition flags.
-	SelfPaging     TriState
-	Tight          TriState
-	TamperedHeap   TriState
-	TamperedPinned TriState
-	HasCheckpoint  TriState
-	MigFresh       TriState
+	SelfPaging      TriState
+	Tight           TriState
+	TamperedHeap    TriState
+	TamperedPinned  TriState
+	HasCheckpoint   TriState
+	MigFresh        TriState
+	WatchdogExpired TriState
 	// Want is the required outcome.
 	Want Want
 	// Next, when not PhaseAny, asserts the phase after the operation.
@@ -161,7 +163,8 @@ func (r Rule) matches(op Op, c cond) bool {
 		r.TamperedHeap.match(c.TamperedHeap) &&
 		r.TamperedPinned.match(c.TamperedPinned) &&
 		r.HasCheckpoint.match(c.HasCheckpoint) &&
-		r.MigFresh.match(c.MigFresh)
+		r.MigFresh.match(c.MigFresh) &&
+		r.WatchdogExpired.match(c.WatchdogExpired)
 }
 
 // Spec is an ordered rule table.
@@ -346,6 +349,28 @@ func DefaultSpec() *Spec {
 		{Op: OpFault, Phases: in(PhaseMigrated), Want: is(hostos.ErrMigrated), Next: PhaseMigrated},
 		{Op: OpTimer, Phases: in(PhaseMigrated), Want: is(hostos.ErrMigrated), Next: PhaseMigrated},
 
+		// ---- chaos: crash-stop, heartbeat, failover ----
+		// The crash itself is nature's move: it always lands on a running
+		// host. From then on only the watchdog edges are defined — the
+		// incarnation is unreachable, not misbehaving.
+		{Op: OpCrash, Phases: in(PhaseLoaded), Want: ok(), Next: PhaseCrashed},
+		// The blind probe: silence on a crashed host, an answer anywhere
+		// else — whatever state the enclave is in, the host is up.
+		{Op: OpHeartbeat, Phases: in(PhaseCrashed), Want: is(fleet.ErrHeartbeatMissed), Next: PhaseCrashed},
+		{Op: OpHeartbeat, Want: ok(), Next: PhaseAny},
+		// Failover discipline: recovery requires the death certificate
+		// (two consecutive missed beats). Without it the restore is the
+		// split-brain probe — on a beating host, and even on a crashed one
+		// not yet declared dead, the incarnation's registration still
+		// occupies the range and refuses the restore. With it, the fence
+		// vacates the range and the checkpoint re-homes.
+		{Op: OpFailover, Phases: in(PhaseLoaded, PhaseSuspended), HasCheckpoint: Yes,
+			Want: is(hostos.ErrEnclaveLive)},
+		{Op: OpFailover, Phases: in(PhaseCrashed), WatchdogExpired: No, HasCheckpoint: Yes,
+			Want: is(hostos.ErrEnclaveLive), Next: PhaseCrashed},
+		{Op: OpFailover, Phases: in(PhaseCrashed), WatchdogExpired: Yes, HasCheckpoint: Yes,
+			Want: ok(), Next: PhaseLoaded},
+
 		// Deliberate gaps (no row → the checker skips, counts, and never
 		// explores past the combination):
 		//   - legacy + tampered + {run, checkpoint, fault}: the legacy
@@ -364,6 +389,21 @@ func DefaultSpec() *Spec {
 		//   - tamper at PhaseMigrated: the retired incarnation's sealed
 		//     blobs were dropped with its backing store, so there is no
 		//     blob left to corrupt.
+		//   - crash outside a Crash scenario, and crash at PhaseSuspended:
+		//     the one-machine fence retires the lost registration, and a
+		//     suspended registration cannot be retired — a host lost
+		//     mid-swap-out is beyond what this model can express.
+		//   - {run, suspend, resume, checkpoint, quiesce, adopt, destroy,
+		//     fault, timer, tamper} at PhaseCrashed: the host is down, so
+		//     there is no kernel to carry the call — the combination is
+		//     unreachable, not refused. In particular quiesce/adopt racing
+		//     the crash resolve to whichever side moved first: a seal
+		//     completed before the crash leaves an adoptable envelope
+		//     (adopt after failover probes it), a crash first leaves only
+		//     the checkpoint path.
+		//   - failover with no checkpoint: the supervisor has nothing to
+		//     restore from; at fleet level that tenant is lost (ErrCrashed)
+		//     rather than refused.
 	}}
 }
 

@@ -540,6 +540,29 @@ func (s *Scheduler) OnPreempt(k *hostos.Kernel, p *hostos.Proc) {
 	s.cpu.SwapContext(t.saved)
 }
 
+// Kill crash-stops one task: the parked goroutine is unwound (abandoning
+// whatever enclave work was in flight) and the task is marked done with err,
+// so no further slice is ever granted. It models a whole-machine crash taking
+// the task down between quanta — the enclave's EPC state is left behind for
+// the kernel to tear down (or leak, if the machine is gone for good), exactly
+// as a power failure would. Killing an already-finished task is a no-op;
+// like Wait, Kill must not be called from inside a scheduled task.
+func (s *Scheduler) Kill(t *Task, err error) {
+	if t.s != s {
+		panic("sched: Kill for a task of a different scheduler")
+	}
+	if s.waiting {
+		panic("sched: Kill re-entered (called from inside a scheduled task?)")
+	}
+	if t.done {
+		return
+	}
+	t.done = true
+	t.err = err
+	t.resume <- resumeMsg{abort: true}
+	<-t.exited
+}
+
 // abortAll unwinds every parked task, one at a time, so their deferred
 // cleanups (clock category scopes, enclave-entry recovers) never run
 // concurrently. Called only from Wait's recover path; afterwards the machine

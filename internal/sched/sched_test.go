@@ -262,3 +262,82 @@ func TestPolicyKindStringsAndConstruction(t *testing.T) {
 		t.Fatal("unknown policy kind accepted")
 	}
 }
+
+// TestKillCrashStopsParkedTask: Kill between quanta unwinds a parked task,
+// pins the caller's sentinel as its error, and leaves the rest of the
+// machine — survivors and the cycle balance sheet — intact. Killing the
+// same task again is a no-op, and Kill refuses foreign tasks and re-entry
+// from inside a scheduled task.
+func TestKillCrashStopsParkedTask(t *testing.T) {
+	k, clock, costs := newKernel()
+	a := loadProcAt(t, k, clock, costs, "a", 4, 0)
+	b := loadProcAt(t, k, clock, costs, "b", 4, 1)
+	s := sched.New(k, nil, 15_000)
+	victim := spawnRun(s, a, "victim", 0, 20000)
+	survivor := spawnRun(s, b, "survivor", 0, 20000)
+
+	// Give both tasks some slices so the victim is genuinely mid-run —
+	// parked with enclave work in flight — when the crash takes it.
+	for i := 0; i < 8; i++ {
+		if !s.Step() {
+			t.Fatal("machine finished before the crash")
+		}
+	}
+	if victim.Done() || survivor.Done() {
+		t.Fatal("a task finished before the crash")
+	}
+
+	crash := errors.New("machine lost")
+	s.Kill(victim, crash)
+	if !victim.Done() || victim.Err() != crash {
+		t.Fatalf("victim: done=%v err=%v, want the crash sentinel", victim.Done(), victim.Err())
+	}
+	s.Kill(victim, errors.New("second crash")) // no-op on a finished task
+	if victim.Err() != crash {
+		t.Fatalf("second Kill rewrote the error: %v", victim.Err())
+	}
+
+	if err := s.Wait(survivor); err != nil {
+		t.Fatalf("survivor: %v", err)
+	}
+	if got := s.WaitAll(); got != crash {
+		t.Fatalf("WaitAll = %v, want the crash sentinel", got)
+	}
+	acct := s.Accounting()
+	if err := acct.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if acct.TotalCycles != clock.Cycles() {
+		t.Fatalf("TotalCycles %d, clock %d", acct.TotalCycles, clock.Cycles())
+	}
+
+	// Kill for a task of a different scheduler panics.
+	s2 := sched.New(k, nil, 15_000)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("cross-scheduler Kill did not panic")
+			}
+		}()
+		s2.Kill(victim, crash)
+	}()
+
+	// Kill from inside a scheduled task panics rather than deadlocking the
+	// dispatch handoff.
+	reentry := make(chan any, 1)
+	target := s2.Spawn("target", 0, nil, func() error {
+		s2.Yield()
+		return nil
+	})
+	s2.Spawn("re-enter", 0, nil, func() error {
+		defer func() { reentry <- recover() }()
+		s2.Kill(target, crash)
+		return nil
+	})
+	if err := s2.WaitAll(); err != nil {
+		t.Fatalf("re-entry machine: %v", err)
+	}
+	if r := <-reentry; r == nil {
+		t.Error("re-entrant Kill did not panic")
+	}
+}

@@ -1,6 +1,9 @@
 package service
 
-import "testing"
+import (
+	"bytes"
+	"testing"
+)
 
 func TestFrameRoundTrip(t *testing.T) {
 	f := Frame{Kind: FrameRequest, Op: 3, ErrCode: 2, Conn: 77, Corr: 0xDEADBEEF, Arg: 42}
@@ -49,4 +52,38 @@ func TestErrCodeRoundTrip(t *testing.T) {
 			t.Errorf("code %d -> %v -> %d, want %d", code, err, back, want)
 		}
 	}
+}
+
+// FuzzFrame shakes the wire-frame decoder with arbitrary bytes: it must
+// never panic or over-read, must reject anything that fails the version or
+// checksum discipline, and on acceptance must decode to a frame whose
+// re-encoding reproduces the accepted bytes exactly (the codec admits no
+// two wire forms for one frame).
+func FuzzFrame(f *testing.F) {
+	var seed [FrameBytes]byte
+	(&Frame{Kind: FrameRequest, Op: 1, Conn: 2, Corr: 3, Arg: 4}).EncodeTo(seed[:])
+	f.Add(seed[:])
+	f.Add([]byte{})
+	f.Add(seed[:FrameBytes-1])
+	f.Add(append(append([]byte{}, seed[:]...), 0xFF, 0x00))
+	mut := append([]byte{}, seed[:]...)
+	mut[9] ^= 0x10
+	f.Add(mut)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := DecodeFrame(data)
+		if err != nil {
+			if fr != (Frame{}) {
+				t.Fatalf("rejected input still produced a frame: %+v", fr)
+			}
+			return
+		}
+		if len(data) < FrameBytes {
+			t.Fatalf("decoder accepted %d bytes, frame needs %d", len(data), FrameBytes)
+		}
+		var out [FrameBytes]byte
+		fr.EncodeTo(out[:])
+		if !bytes.Equal(out[:], data[:FrameBytes]) {
+			t.Fatalf("re-encode mismatch:\n in  %x\n out %x", data[:FrameBytes], out)
+		}
+	})
 }

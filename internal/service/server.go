@@ -154,6 +154,11 @@ type Server struct {
 
 	kaCursor int
 	closed   bool
+	// partUntil severs the untrusted channel while clock < partUntil:
+	// requests vanish in transit and replies are lost (resetting their
+	// connections), modelling a network partition between the frontend and
+	// this server's machine (see Partition).
+	partUntil uint64
 	// draining pauses admission without closing: the loop serves what is
 	// queued and returns, but the remaining schedule stays pending so a
 	// Rebind onto a migrated incarnation can resume it (see Drain).
@@ -232,6 +237,56 @@ func (s *Server) Drain() { s.draining = true }
 
 // Draining reports whether a migration drain is in progress.
 func (s *Server) Draining() bool { return s.draining }
+
+// Partition severs the untrusted channel between the clients and this
+// server until the given absolute cycle: requests vanish in transit and
+// replies are lost (resetting their connections, so in-flight calls surface
+// ErrConnReset), exactly as a fault-plan outage would — but driven by an
+// external chaos schedule rather than per-frame rolls. Admission and the
+// open-loop schedule keep running: a partition loses traffic, it does not
+// pause it. A later Partition call with a smaller cycle heals early.
+func (s *Server) Partition(until uint64) { s.partUntil = until }
+
+// Partitioned reports whether the channel is severed at the given cycle.
+func (s *Server) Partitioned(now uint64) bool { return now < s.partUntil }
+
+// PendingSchedule reports how many preloaded open-loop arrivals have not yet
+// been admitted — the traffic a tenant that never recovers from a crash
+// would lose outright.
+func (s *Server) PendingSchedule() int { return len(s.schedule) - s.pos }
+
+// Crash models the host machine dying mid-run: every admitted-but-unserved
+// request — queued on a connection, or already popped for dispatch inside
+// the dead enclave — is accounted as dropped, every connection resets (a
+// blocking call in flight observes ErrConnReset), and the server enters the
+// draining state so a restored incarnation can Rebind. The pending open-loop
+// schedule survives: arrivals that come due during the outage flood in after
+// recovery rather than silently vanishing. Returns the number of admitted
+// requests the crash lost.
+func (s *Server) Crash() uint64 {
+	st := &s.stats
+	unsettled := func() uint64 {
+		settled := st.Served + st.Errors + st.Timeouts + st.Dropped
+		if st.Admitted > settled {
+			return st.Admitted - settled
+		}
+		return 0
+	}
+	lost := unsettled() // queued + mid-dispatch at the instant of the crash
+	for _, c := range s.conns {
+		s.reset(c) // accounts the queued frames, bumps the incarnation
+	}
+	// Whatever the resets did not account — a request already popped for
+	// dispatch when the machine died — is dropped too, so no admitted
+	// request ever disappears from the books.
+	if rem := unsettled(); rem > 0 {
+		st.Dropped += rem
+		s.meter.Add(metrics.CntServDrops, rem)
+	}
+	s.fifoHead, s.fifoLen = 0, 0
+	s.draining = true
+	return lost
+}
 
 // Rebind attaches the server's host-side state to a new process incarnation
 // (the adopted enclave on the destination machine) and resumes admission.
@@ -515,6 +570,12 @@ func (s *Server) serve(ctx *core.Context, f Frame) {
 	// a pristine frame decodes to exactly its wire view.
 	s.charge(s.costs.ServFrame)
 	now := s.clock.Cycles()
+	if now < s.partUntil {
+		// Severed channel: the request vanishes in transit.
+		s.stats.Dropped++
+		s.meter.Inc(metrics.CntServDrops)
+		return
+	}
 	var wf Frame
 	switch s.plan.Roll(dirRequest, now, uint64(c.id), f.Corr) {
 	case fault.KindCorrupt, fault.KindTruncate:
@@ -567,6 +628,14 @@ func (s *Server) serve(ctx *core.Context, f Frame) {
 func (s *Server) deliver(c *Conn, f Frame) {
 	s.charge(s.costs.ServFrame)
 	now := s.clock.Cycles()
+	if now < s.partUntil {
+		// Severed channel: the reply is lost, and the client — unable to
+		// tell a lost reply from a dead server — tears the connection down.
+		s.stats.Dropped++
+		s.meter.Inc(metrics.CntServDrops)
+		s.reset(c)
+		return
+	}
 	var wf Frame
 	switch s.plan.Roll(dirReply, now, uint64(c.id), f.Corr) {
 	case fault.KindCorrupt, fault.KindTruncate:

@@ -77,6 +77,12 @@ type Costs struct {
 	// over a machine's occupancy metrics. Only fleet paths charge it, so
 	// single-machine experiments are unaffected.
 	FleetScan uint64
+
+	// Supervision (internal/chaos): one heartbeat publication by a healthy
+	// node, and one watchdog sweep of the fleet's heartbeat deadlines by the
+	// supervisor. Only supervised fleets charge these.
+	FleetHeartbeat uint64
+	FleetWatchdog  uint64
 }
 
 // DefaultCosts returns the calibrated model used by all experiments.
@@ -146,5 +152,10 @@ func DefaultCosts() Costs {
 		// compares them against the watermarks: cache-resident arithmetic,
 		// not I/O.
 		FleetScan: 600,
+
+		// A heartbeat is a shared-memory counter write; the watchdog sweep
+		// compares each node's last beat against its deadline.
+		FleetHeartbeat: 80,
+		FleetWatchdog:  350,
 	}
 }

@@ -24,7 +24,7 @@ func TestOptionValidationRoundTrip(t *testing.T) {
 		{"scheduler", "Scheduler", WithScheduler(SchedPolicy(99))},
 		{"backing-store", "BackingStore", WithBackingStore(CachedBacking(0, nil))},
 		{"fault-plan", "FaultPlan", WithFaultPlan(FaultPlan{PCorrupt: 2})},
-		{"retry-policy", "RetryPolicy", WithRetryPolicy(RetryPolicy{Attempts: 0})},
+		{"retry-policy", "RetryPolicy.Attempts", WithRetryPolicy(RetryPolicy{Attempts: 0})},
 		{"fallback-store", "FallbackStore", WithFallbackStore(ORAMBacking(-1, nil))},
 	}
 	for _, tc := range cases {

@@ -50,8 +50,9 @@ func TestRecoveryOptionsRejectInvalidConfigs(t *testing.T) {
 	}{
 		{"fault plan probability out of range", WithFaultPlan(FaultPlan{PCorrupt: 1.5}), "FaultPlan"},
 		{"fault plan outage without unavailability", WithFaultPlan(FaultPlan{OutageCycles: 1000}), "FaultPlan"},
-		{"retry without attempts", WithRetryPolicy(RetryPolicy{}), "RetryPolicy"},
-		{"retry with free retries", WithRetryPolicy(RetryPolicy{Attempts: 3}), "RetryPolicy"},
+		{"retry without attempts", WithRetryPolicy(RetryPolicy{}), "RetryPolicy.Attempts"},
+		{"retry with free retries", WithRetryPolicy(RetryPolicy{Attempts: 3}), "RetryPolicy.BackoffBase"},
+		{"retry cap below base", WithRetryPolicy(RetryPolicy{Attempts: 2, BackoffBase: 100, BackoffCap: 50}), "RetryPolicy.BackoffCap"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -65,6 +65,7 @@ var instrumented = []string{
 	"internal/orderly",
 	"internal/service",
 	"internal/fleet",
+	"internal/chaos",
 }
 
 // deterministic lists the packages whose behavior must be a pure function
@@ -80,6 +81,9 @@ var deterministic = []string{
 	// Fleet placement, rebalancing and migration ordering must be a pure
 	// function of the shared clock — E15's golden diff depends on it.
 	"internal/fleet",
+	// Failure schedules expand from sim.Rand and fire on clock rounds —
+	// E16's golden diff depends on it.
+	"internal/chaos",
 }
 
 // forbiddenImports are the nondeterminism sources banned in deterministic
